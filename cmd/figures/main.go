@@ -1,0 +1,67 @@
+// Command figures regenerates the paper's evaluation tables and figures
+// (§5) on this repository's simulator and prints the series as text tables.
+//
+// Usage:
+//
+//	figures -fig all            # everything, default size
+//	figures -fig 8 -runs 3      # one figure
+//	figures -fig 10ab -quick    # smoke-test size
+//
+// Figure IDs: 5, 8, 9, 10ab, 10c, 11, tables, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qnp/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, all")
+	runs := flag.Int("runs", 0, "independent simulation runs per point (0 = default)")
+	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	if *quick {
+		o = experiments.QuickOptions()
+	}
+	if *runs > 0 {
+		o.Runs = *runs
+	}
+	o.Seed = *seed
+
+	w := os.Stdout
+	run := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		fmt.Fprintf(w, "[%s regenerated in %.1fs]\n", name, time.Since(t0).Seconds())
+	}
+	want := func(name string) bool { return *fig == name || *fig == "all" }
+
+	if want("tables") {
+		run("tables", func() { experiments.WriteTables(w) })
+	}
+	if want("5") {
+		run("fig5", func() { experiments.Fig5(o).Print(w) })
+	}
+	if want("8") {
+		run("fig8", func() { experiments.Fig8(o).Print(w) })
+	}
+	if want("9") {
+		run("fig9", func() { experiments.Fig9(o).Print(w) })
+	}
+	if want("10ab") {
+		run("fig10ab", func() { experiments.Fig10AB(o).Print(w) })
+	}
+	if want("10c") {
+		run("fig10c", func() { experiments.Fig10C(o).Print(w) })
+	}
+	if want("11") {
+		run("fig11", func() { experiments.Fig11(o).Print(w) })
+	}
+}

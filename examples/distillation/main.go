@@ -1,0 +1,100 @@
+// Distillation: the §4.3 layered service built ON TOP of the QNP — the
+// paper's argument for designing the protocol as a building block.
+//
+// A QNP circuit runs between two nodes and feeds its delivered pairs to a
+// DEJMPS distillation module, which consumes pairs two at a time and, on
+// success, emits one higher-fidelity pair. The example compares the raw
+// circuit fidelity with the distilled fidelity and reports the yield.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qnp/internal/device"
+	"qnp/internal/quantum"
+	"qnp/internal/sim"
+	"qnp/qnet"
+)
+
+func main() {
+	const rawPairs = 120
+	net := qnet.Chain(qnet.DefaultConfig(), 4)
+	phi := quantum.PhiPlus
+	// Ask for a deliberately modest fidelity: distillation exists to buy
+	// back what long paths lose.
+	vc, err := net.Establish("dist", "n0", "n3", 0.75, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var hold *device.Pair
+	var rawFids, distFids []float64
+	attempts, successes := 0, 0
+	params := net.Config.Params
+
+	consume := func(p *device.Pair) {
+		for s := 0; s < 2; s++ {
+			if q := p.Half(s); q != nil {
+				net.Device(q.Node()).Free(q)
+			}
+		}
+	}
+	vc.HandleTail(qnet.Handlers{AutoConsume: true})
+	vc.HandleHead(qnet.Handlers{
+		OnPair: func(d qnet.Delivered) {
+			rawFids = append(rawFids, d.Pair.FidelityWith(d.At, d.State))
+			// Rotate into the canonical Φ+ frame so DEJMPS's success rule
+			// applies, using the network-declared state.
+			dd := d.State ^ quantum.PhiPlus
+			d.Pair.ApplyPauli(0, dd.XBit(), dd.ZBit())
+			// Bilateral Pauli twirl: the same random Pauli on both halves
+			// preserves the Φ+ component and kills coherences between the
+			// error components, pushing the state toward Bell-diagonal —
+			// the form DEJMPS distills best. Locally free.
+			tw := uint8(net.Sim.Rand().Intn(4))
+			d.Pair.ApplyPauli(0, tw&1, tw>>1)
+			d.Pair.ApplyPauli(1, tw&1, tw>>1)
+			if hold == nil {
+				hold = d.Pair
+				return
+			}
+			// Two pairs between the same end-points: one DEJMPS round.
+			attempts++
+			res := quantum.Distill(hold.StateAt(d.At), d.Pair.StateAt(d.At), params.SwapConfig(), net.Sim.Rand())
+			if res.OK {
+				successes++
+				distFids = append(distFids, quantum.Fidelity(res.Rho, quantum.PhiPlus))
+			}
+			consume(hold)
+			consume(d.Pair)
+			hold = nil
+		},
+	})
+
+	if err := vc.Submit(qnet.Request{
+		ID: "d", Type: qnet.Keep, NumPairs: rawPairs, FinalState: &phi,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	net.Run(240 * sim.Second)
+
+	if len(distFids) == 0 {
+		log.Fatal("no distillation successes")
+	}
+	fmt.Printf("raw pairs delivered: %d, mean fidelity %.3f\n", len(rawFids), mean(rawFids))
+	fmt.Printf("distillation rounds: %d, successes: %d (yield %.0f%%)\n",
+		attempts, successes, 100*float64(successes)/float64(attempts))
+	fmt.Printf("distilled mean fidelity %.3f (raw %.3f)\n", mean(distFids), mean(rawFids))
+	if mean(distFids) > mean(rawFids) {
+		fmt.Println("distillation improved fidelity — the layered service works")
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,79 @@
+// Teleport: the "create and keep" use case (§3.1) — deterministic qubit
+// transmission over delivered end-to-end pairs.
+//
+// Alice prepares data qubits in random states, requests KEEP pairs in a
+// fixed final Bell state (the QNP's head-end Pauli correction), teleports
+// each data qubit through its pair, and the example verifies the received
+// state's fidelity at Bob against the known input.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"qnp/internal/linalg"
+	"qnp/internal/quantum"
+	"qnp/internal/sim"
+	"qnp/qnet"
+)
+
+func main() {
+	const pairs = 20
+	net := qnet.Chain(qnet.DefaultConfig(), 3)
+	phi := quantum.PhiPlus
+	vc, err := net.Establish("tp", "n0", "n2", 0.85, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Random pure data states |ψ> = cos(θ/2)|0> + e^{iφ} sin(θ/2)|1>.
+	src := rand.New(rand.NewSource(7))
+	var fidelities []float64
+	vc.HandleTail(qnet.Handlers{AutoConsume: true})
+	vc.HandleHead(qnet.Handlers{
+		OnPair: func(d qnet.Delivered) {
+			theta, ph := src.Float64()*math.Pi, src.Float64()*2*math.Pi
+			v := linalg.ColumnVector(
+				complex(math.Cos(theta/2), 0),
+				complex(math.Sin(theta/2)*math.Cos(ph), math.Sin(theta/2)*math.Sin(ph)),
+			)
+			data := linalg.OuterProduct(v, v)
+
+			// Teleport through the delivered pair: the Bell-state
+			// measurement consumes Alice's half; the correction on Bob's
+			// side uses the network-declared Bell state — this is why the
+			// QNP must deliver the state with the pair.
+			params := net.Config.Params
+			out := quantum.Teleport(data, d.Pair.Rho(), d.State, params.SwapConfig(), net.Sim.Rand())
+			f := real(linalg.Expectation(out, v))
+			fidelities = append(fidelities, f)
+			fmt.Printf("teleport %2d: declared %v, output fidelity %.3f\n", d.Seq+1, d.State, f)
+
+			// Physically both halves are consumed by the protocol.
+			for s := 0; s < 2; s++ {
+				if q := d.Pair.Half(s); q != nil {
+					net.Device(q.Node()).Free(q)
+				}
+			}
+		},
+	})
+
+	if err := vc.Submit(qnet.Request{
+		ID: "tp", Type: qnet.Keep, NumPairs: pairs, FinalState: &phi,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	net.Run(60 * sim.Second)
+
+	if len(fidelities) != pairs {
+		log.Fatalf("only %d/%d teleports completed", len(fidelities), pairs)
+	}
+	var sum float64
+	for _, f := range fidelities {
+		sum += f
+	}
+	fmt.Printf("mean teleportation fidelity over %d random states: %.3f (classical limit 2/3)\n",
+		pairs, sum/float64(pairs))
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"qnp/internal/sim"
+)
+
+// reqState is an end-node's book-keeping for one request sharing a circuit.
+type reqState struct {
+	req Request
+	// assigned counts local link-pairs currently assigned to this request
+	// (in transit or delivered); discarded chains are unassigned again —
+	// "if a qubit was not delivered early it can be reassigned".
+	assigned int
+	// totalAssigned counts assignments ever made (monotonic; never
+	// decremented) — test-round designation keys off it so a re-assigned
+	// slot is not re-designated forever.
+	totalAssigned int
+	// delivered counts confirmed deliveries at this end.
+	delivered int
+	active    bool
+	seq       int
+	// submittedAt/firstAt support deadline/window accounting.
+	submittedAt sim.Time
+	firstAt     sim.Time
+	haveFirst   bool
+}
+
+func (rs *reqState) nextSeq() int {
+	s := rs.seq
+	rs.seq++
+	return s
+}
+
+// wantsMore reports whether the request can take another pair assignment.
+func (rs *reqState) wantsMore() bool {
+	if !rs.active {
+		return false
+	}
+	if rs.req.NumPairs == 0 {
+		return true // rate-based, open-ended
+	}
+	return rs.assigned < rs.req.NumPairs
+}
+
+// demux is the symmetric demultiplexer (§4.1 "Aggregation", Appendix C
+// "Demultiplexing"): it assigns a circuit's pairs to requests using the same
+// deterministic rule at both end-nodes — oldest active request first — and
+// relies on TRACK cross-checks to discard the occasional inconsistent
+// assignment. Epochs version the active request set: a new epoch is created
+// on every request arrival/completion, the head-end announces the next epoch
+// on each TRACK, and the tail activates it after delivering that pair.
+type demux struct {
+	// latest is the newest created epoch; sets[e] is epoch e's request list
+	// in arrival order.
+	latest uint64
+	// active is the epoch this end currently assigns from (the head always
+	// tracks latest; the tail advances on deliveries).
+	active uint64
+	sets   map[uint64][]*reqState
+	byID   map[RequestID]*reqState
+}
+
+func newDemux() *demux {
+	return &demux{
+		sets: map[uint64][]*reqState{0: nil},
+		byID: make(map[RequestID]*reqState),
+	}
+}
+
+// add creates a new epoch containing the previous set plus rs.
+func (d *demux) add(rs *reqState) uint64 {
+	prev := d.sets[d.latest]
+	d.latest++
+	next := make([]*reqState, len(prev), len(prev)+1)
+	copy(next, prev)
+	next = append(next, rs)
+	d.sets[d.latest] = next
+	d.byID[rs.req.ID] = rs
+	rs.active = true
+	return d.latest
+}
+
+// remove creates a new epoch without rs and deactivates it.
+func (d *demux) remove(id RequestID) uint64 {
+	rs, ok := d.byID[id]
+	if !ok {
+		return d.latest
+	}
+	rs.active = false
+	prev := d.sets[d.latest]
+	d.latest++
+	next := make([]*reqState, 0, len(prev))
+	for _, r := range prev {
+		if r != rs {
+			next = append(next, r)
+		}
+	}
+	d.sets[d.latest] = next
+	return d.latest
+}
+
+// get looks up a request.
+func (d *demux) get(id RequestID) *reqState { return d.byID[id] }
+
+// jumpToLatest moves assignment to the newest epoch (head-end behaviour).
+func (d *demux) jumpToLatest() { d.advance(d.latest) }
+
+// advance activates epoch e if it is newer than the current one, pruning
+// older set snapshots.
+func (d *demux) advance(e uint64) {
+	if e <= d.active || e > d.latest {
+		return
+	}
+	for old := d.active; old < e; old++ {
+		delete(d.sets, old)
+	}
+	d.active = e
+}
+
+// next assigns the next pair: the oldest request in the active epoch that
+// still wants pairs. If the active epoch has nothing assignable but a later
+// epoch exists, the demux advances — this bootstraps the first request and
+// drains dead epochs.
+func (d *demux) next() *reqState {
+	for {
+		for _, rs := range d.sets[d.active] {
+			if rs.wantsMore() {
+				rs.assigned++
+				rs.totalAssigned++
+				return rs
+			}
+		}
+		if d.active >= d.latest {
+			return nil
+		}
+		d.advance(d.active + 1)
+	}
+}
+
+// unassign returns an assignment after a discarded chain or failed
+// cross-check, making the slot reusable.
+func (d *demux) unassign(rs *reqState) {
+	if rs.assigned > rs.delivered {
+		rs.assigned--
+	}
+}
+
+// activeRequests returns the requests of the newest epoch.
+func (d *demux) activeRequests() []*reqState { return d.sets[d.latest] }

@@ -1,0 +1,691 @@
+package core
+
+import (
+	"fmt"
+
+	"qnp/internal/device"
+	"qnp/internal/linklayer"
+	"qnp/internal/netsim"
+	"qnp/internal/quantum"
+	"qnp/internal/sim"
+)
+
+// Delivered is handed to the application when a pair (or a measurement
+// outcome) is delivered at an end-node.
+type Delivered struct {
+	Circuit CircuitID
+	Request RequestID
+	// Seq numbers deliveries within the request at this end.
+	Seq int
+	// Corr is the entangled pair identifier of §3.2: the head-end-side
+	// chain correlator, identical at both end-nodes (the tail learns it
+	// from the head's TRACK message Origin field).
+	Corr linklayer.Correlator
+	// LocalCorr is this end's own link-pair correlator for the chain; EARLY
+	// hand-offs and EXPIRE notices are keyed by it.
+	LocalCorr linklayer.Correlator
+	// Pair is the live end-to-end pair (nil for Measure deliveries).
+	Pair *device.Pair
+	// State is the protocol's declared Bell state for the pair.
+	State quantum.BellIndex
+	// Bit is the measurement outcome for Measure requests.
+	Bit  int
+	Type RequestType
+	At   sim.Time
+}
+
+// TestEstimate reports the running fidelity estimate from test rounds.
+type TestEstimate struct {
+	Circuit  CircuitID
+	Samples  int
+	Estimate float64
+}
+
+// AppCallbacks connect an end-node's QNP to the local application.
+// Unset callbacks are ignored.
+type AppCallbacks struct {
+	// OnPair delivers confirmed pairs (KEEP), tracking confirmations
+	// (EARLY) and withheld measurement results (MEASURE).
+	OnPair func(Delivered)
+	// OnEarlyPair hands over the qubit as soon as it is available (EARLY
+	// requests); tracking info follows via OnPair.
+	OnEarlyPair func(Delivered)
+	// OnExpire notifies that an early-delivered or in-flight pair's chain
+	// broke (the application must discard its early qubit).
+	OnExpire func(CircuitID, RequestID, linklayer.Correlator)
+	// OnComplete fires at the head-end when a request finishes.
+	OnComplete func(CircuitID, RequestID)
+	// OnReject fires when policing rejects a request.
+	OnReject func(Request, string)
+	// OnTestEstimate reports fidelity test-round statistics (head-end).
+	OnTestEstimate func(TestEstimate)
+}
+
+// pairSlot tracks one local link-pair half at a node. The qubit is the
+// stable handle: remote entanglement swaps rewire qubit→pair bindings, so
+// the current (possibly multi-hop) pair is always qubit.Pair().
+type pairSlot struct {
+	corr      linklayer.Correlator
+	idx       quantum.BellIndex // heralded link-pair Bell state
+	qubit     *device.Qubit
+	cutoff    *sim.Event
+	arrivedAt sim.Time
+	// moving marks a half mid-transfer to a storage qubit (near-term
+	// platform); it cannot be swapped until the move completes.
+	moving bool
+}
+
+func (s *pairSlot) pair() *device.Pair { return s.qubit.Pair() }
+
+// swapRecord is the temporary record logged after every entanglement swap
+// (§4.1 "Swap records"): the partner pair's correlator and heralded state
+// plus the two-bit swap outcome. Records are soft state: chains whose both
+// ends were drained never send a TRACK to consume them, so a TTL sweep
+// reclaims them (at is the creation time).
+type swapRecord struct {
+	otherCorr linklayer.Correlator
+	otherIdx  quantum.BellIndex
+	outcome   quantum.BellIndex
+	at        sim.Time
+}
+
+// parkedTrack is a TRACK waiting at a node for its swap to complete.
+type parkedTrack struct {
+	msg TrackMsg
+	at  sim.Time
+}
+
+// inTransitEntry is an end-node's record of a local pair assigned to a
+// request and awaiting tracking confirmation.
+type inTransitEntry struct {
+	rs   *reqState
+	slot *pairSlot
+	// test marks head-chosen fidelity test rounds.
+	test      bool
+	testBasis quantum.Basis
+	// measured holds the outcome of an already-performed measurement
+	// (Measure requests and test rounds).
+	measured     bool
+	measuredBit  int
+	trackArrived bool
+	trackState   quantum.BellIndex
+	earlyGiven   bool
+	// chainCorr is the canonical (head-side) chain identifier, learned from
+	// the confirming TRACK.
+	chainCorr linklayer.Correlator
+}
+
+// testStats accumulates fidelity test-round correlators at the head-end.
+type testStats struct {
+	// sum of ±1 outcome products per basis, sign-adjusted to the Φ+ frame.
+	sum   [3]float64
+	count [3]int
+	// issued counts test rounds designated so far (for basis cycling).
+	issued int
+	// pending head measurements/tail results keyed by origin correlator.
+	headBits map[linklayer.Correlator]headTestBit
+}
+
+type headTestBit struct {
+	basis   quantum.Basis
+	bit     int
+	haveBit bool
+	// tailBit arrives via TestResultMsg.
+	tailBit     int
+	haveTailBit bool
+	idx         quantum.BellIndex
+	haveIdx     bool
+}
+
+// circuit is the per-node state of one virtual circuit.
+type circuit struct {
+	entry RoutingEntry
+	role  Role
+
+	// Intermediate node state (Appendix C Algorithms 7–9). All maps are
+	// soft state with TTL reclamation (see sweep).
+	upQ, downQ             []*pairSlot
+	upRecord, downRecord   map[linklayer.Correlator]swapRecord
+	upTrack, downTrack     map[linklayer.Correlator]parkedTrack
+	upExpired, downExpired map[linklayer.Correlator]sim.Time
+
+	// End-node state (Algorithms 1–6).
+	dmx        *demux
+	inTransit  map[linklayer.Correlator]*inTransitEntry
+	endExpired map[linklayer.Correlator]sim.Time
+	queued     []*reqState // shaped (delayed) requests, head-end only
+	tests      testStats
+
+	// Link layer registration state.
+	upRegistered, downRegistered bool
+
+	// Stats.
+	swaps, discards, expiresSent, trackMismatch uint64
+}
+
+// Node is one network node's QNP engine. It owns the node's circuits,
+// consumes link layer deliveries, exchanges FORWARD/COMPLETE/TRACK/EXPIRE
+// messages with its neighbours, and applies the Appendix C rules.
+type Node struct {
+	id     netsim.NodeID
+	sim    *sim.Simulation
+	net    *netsim.Network
+	dev    *device.Device
+	fabric *linklayer.Fabric
+
+	circuits map[CircuitID]*circuit
+	apps     AppCallbacks
+	// gcRunning marks the periodic soft-state sweep as started.
+	gcRunning bool
+}
+
+// NewNode creates the QNP engine for a node and hooks it into the classical
+// network's message dispatch.
+func NewNode(s *sim.Simulation, net *netsim.Network, dev *device.Device, fabric *linklayer.Fabric) *Node {
+	n := &Node{
+		id:       netsim.NodeID(dev.ID()),
+		sim:      s,
+		net:      net,
+		dev:      dev,
+		fabric:   fabric,
+		circuits: make(map[CircuitID]*circuit),
+	}
+	net.Handle(n.id, n.handleMessage)
+	return n
+}
+
+// ID returns the node's network ID.
+func (n *Node) ID() netsim.NodeID { return n.id }
+
+// Device returns the node's quantum device.
+func (n *Node) Device() *device.Device { return n.dev }
+
+// SetCallbacks installs the application callbacks (end-nodes).
+func (n *Node) SetCallbacks(cb AppCallbacks) { n.apps = cb }
+
+// InstallCircuit installs the routing-table entry for a circuit at this
+// node — the signalling protocol's job (§3.3).
+func (n *Node) InstallCircuit(e RoutingEntry) {
+	if _, ok := n.circuits[e.Circuit]; ok {
+		panic(fmt.Sprintf("core %s: circuit %q already installed", n.id, e.Circuit))
+	}
+	cs := &circuit{
+		entry:       e,
+		role:        e.Role(),
+		upRecord:    make(map[linklayer.Correlator]swapRecord),
+		downRecord:  make(map[linklayer.Correlator]swapRecord),
+		upTrack:     make(map[linklayer.Correlator]parkedTrack),
+		downTrack:   make(map[linklayer.Correlator]parkedTrack),
+		upExpired:   make(map[linklayer.Correlator]sim.Time),
+		downExpired: make(map[linklayer.Correlator]sim.Time),
+		inTransit:   make(map[linklayer.Correlator]*inTransitEntry),
+		endExpired:  make(map[linklayer.Correlator]sim.Time),
+	}
+	cs.tests.headBits = make(map[linklayer.Correlator]headTestBit)
+	if cs.role != RoleIntermediate {
+		cs.dmx = newDemux()
+	}
+	n.circuits[e.Circuit] = cs
+	if !n.gcRunning {
+		n.gcRunning = true
+		n.sim.Schedule(gcInterval, n.gcSweep)
+	}
+}
+
+// Soft-state reclamation: swap records, discard records, end-node
+// tombstones and parked TRACKs all describe chains whose resolution
+// messages normally consume them — but a chain whose both ends were drained
+// (e.g. pairs arriving after a request completed) never resolves. The sweep
+// drops entries older than several cutoff intervals; any TRACK that would
+// have consumed them has long since been answered or abandoned.
+const gcInterval = 5 * sim.Second
+
+func (n *Node) gcTTL(cs *circuit) sim.Duration {
+	ttl := 10 * cs.entry.Cutoff
+	if ttl < 2*gcInterval {
+		ttl = 2 * gcInterval
+	}
+	return ttl
+}
+
+func (n *Node) gcSweep() {
+	now := n.sim.Now()
+	for _, cs := range n.circuits {
+		cutoff := now.Add(-n.gcTTL(cs))
+		for k, v := range cs.upRecord {
+			if v.at < cutoff {
+				delete(cs.upRecord, k)
+			}
+		}
+		for k, v := range cs.downRecord {
+			if v.at < cutoff {
+				delete(cs.downRecord, k)
+			}
+		}
+		for k, v := range cs.upTrack {
+			if v.at < cutoff {
+				delete(cs.upTrack, k)
+			}
+		}
+		for k, v := range cs.downTrack {
+			if v.at < cutoff {
+				delete(cs.downTrack, k)
+			}
+		}
+		for k, v := range cs.upExpired {
+			if v < cutoff {
+				delete(cs.upExpired, k)
+			}
+		}
+		for k, v := range cs.downExpired {
+			if v < cutoff {
+				delete(cs.downExpired, k)
+			}
+		}
+		for k, v := range cs.endExpired {
+			if v < cutoff {
+				delete(cs.endExpired, k)
+			}
+		}
+	}
+	n.sim.Schedule(gcInterval, n.gcSweep)
+}
+
+// UninstallCircuit tears a circuit down at this node: link layer requests
+// are deactivated, queued pairs and cutoff timers are released, and the
+// routing-table entry is removed (§4.1: "If a circuit goes down due to loss
+// of connectivity, the protocol aborts all requests").
+func (n *Node) UninstallCircuit(id CircuitID) {
+	cs, ok := n.circuits[id]
+	if !ok {
+		return
+	}
+	n.deactivateLinks(cs)
+	for _, q := range [][]*pairSlot{cs.upQ, cs.downQ} {
+		for _, slot := range q {
+			n.sim.Cancel(slot.cutoff)
+			n.dev.Free(slot.qubit)
+		}
+	}
+	for _, it := range cs.inTransit {
+		if !it.measured && !it.earlyGiven {
+			if p := it.slot.pair(); p != nil && p.LocalSide(string(n.id)) >= 0 {
+				n.dev.Free(it.slot.qubit)
+			}
+		}
+	}
+	delete(n.circuits, id)
+}
+
+// Circuit returns the routing entry installed for a circuit.
+func (n *Node) Circuit(id CircuitID) (RoutingEntry, bool) {
+	cs, ok := n.circuits[id]
+	if !ok {
+		return RoutingEntry{}, false
+	}
+	return cs.entry, true
+}
+
+// mustCircuit fetches circuit state or panics — messages for uninstalled
+// circuits indicate a signalling bug.
+func (n *Node) mustCircuit(id CircuitID) *circuit {
+	cs, ok := n.circuits[id]
+	if !ok {
+		panic(fmt.Sprintf("core %s: message for uninstalled circuit %q", n.id, id))
+	}
+	return cs
+}
+
+// --- Message plumbing -----------------------------------------------------
+
+func (n *Node) handleMessage(from netsim.NodeID, msg netsim.Message) {
+	switch m := msg.(type) {
+	case ForwardMsg:
+		n.onForward(m)
+	case CompleteMsg:
+		n.onComplete(m)
+	case TrackMsg:
+		n.onTrack(m)
+	case ExpireMsg:
+		n.onExpire(m)
+	case TestResultMsg:
+		n.onTestResult(m)
+	}
+}
+
+func (n *Node) sendUp(cs *circuit, msg netsim.Message) {
+	n.net.Send(n.id, cs.entry.Upstream, msg)
+}
+
+func (n *Node) sendDown(cs *circuit, msg netsim.Message) {
+	n.net.Send(n.id, cs.entry.Downstream, msg)
+}
+
+// --- Link layer management ------------------------------------------------
+
+// registerLinks (re-)activates the circuit's link layer requests at this
+// node per the FORWARD's rate field.
+func (n *Node) registerLinks(cs *circuit, rate float64) {
+	e := cs.entry
+	if e.Downstream != "" {
+		eng := n.fabric.Between(string(n.id), string(e.Downstream))
+		lpr := n.effectiveLPR(cs, rate)
+		if !cs.downRegistered {
+			label := e.DownLabel
+			if err := eng.Register(string(n.id), label, e.DownMinFidelity, lpr, func(d linklayer.Delivery) {
+				n.onLinkPair(cs, d, false)
+			}); err != nil {
+				panic(fmt.Sprintf("core %s: link register: %v", n.id, err))
+			}
+			cs.downRegistered = true
+		} else {
+			eng.UpdateRate(e.DownLabel, lpr)
+		}
+	}
+	if e.Upstream != "" && !cs.upRegistered {
+		eng := n.fabric.Between(string(n.id), string(e.Upstream))
+		// The upstream neighbour owns this link's fidelity/rate settings
+		// (its DownMinFidelity); we register with the same values, which
+		// the routing table guarantees to match: our upstream link is the
+		// neighbour's downstream link.
+		if err := eng.Register(string(n.id), e.UpLabel, e.UpMinFidelity, e.UpMaxLPR, func(d linklayer.Delivery) {
+			n.onLinkPair(cs, d, true)
+		}); err != nil {
+			panic(fmt.Sprintf("core %s: link register: %v", n.id, err))
+		}
+		cs.upRegistered = true
+	}
+}
+
+// effectiveLPR maps the circuit's current requested EER to the link-pair
+// rate to ask of the link layer: the max LPR unless only rate-based
+// requests are active, in which case the proportional fraction (§4.1
+// "Continuous link generation").
+func (n *Node) effectiveLPR(cs *circuit, rate float64) float64 {
+	e := cs.entry
+	if rate == maxLPRSentinel || e.MaxEER <= 0 {
+		return e.DownMaxLPR
+	}
+	lpr := e.DownMaxLPR * rate / e.MaxEER
+	if lpr > e.DownMaxLPR {
+		lpr = e.DownMaxLPR
+	}
+	if lpr < 0 {
+		lpr = 0
+	}
+	return lpr
+}
+
+// deactivateLinks pauses the circuit's generation at this node when no
+// requests remain.
+func (n *Node) deactivateLinks(cs *circuit) {
+	e := cs.entry
+	if cs.downRegistered {
+		n.fabric.Between(string(n.id), string(e.Downstream)).Deactivate(string(n.id), e.DownLabel)
+		cs.downRegistered = false
+	}
+	if cs.upRegistered {
+		n.fabric.Between(string(n.id), string(e.Upstream)).Deactivate(string(n.id), e.UpLabel)
+		cs.upRegistered = false
+	}
+}
+
+// --- FORWARD / COMPLETE ---------------------------------------------------
+
+func (n *Node) onForward(m ForwardMsg) {
+	cs := n.mustCircuit(m.Circuit)
+	n.registerLinks(cs, m.Rate)
+	if cs.role == RoleTail {
+		// Tail book-keeping: a new epoch with the request added.
+		rs := &reqState{
+			req: Request{
+				ID:           m.Request,
+				Circuit:      m.Circuit,
+				Type:         m.Type,
+				MeasureBasis: m.MeasureBasis,
+				NumPairs:     m.NumPairs,
+				FinalState:   m.FinalState,
+				TestEvery:    m.TestEvery,
+			},
+			submittedAt: n.sim.Now(),
+		}
+		cs.dmx.add(rs)
+		return
+	}
+	n.sendDown(cs, m)
+}
+
+func (n *Node) onComplete(m CompleteMsg) {
+	cs := n.mustCircuit(m.Circuit)
+	if cs.role == RoleTail {
+		cs.dmx.remove(m.Request)
+		if m.Rate == 0 {
+			n.deactivateLinks(cs)
+		}
+		return
+	}
+	if m.Rate == 0 {
+		n.deactivateLinks(cs)
+	} else {
+		n.registerLinks(cs, m.Rate)
+	}
+	n.sendDown(cs, m)
+}
+
+// --- LINK rules -----------------------------------------------------------
+
+// onLinkPair dispatches a link layer delivery to the role-specific rule.
+func (n *Node) onLinkPair(cs *circuit, d linklayer.Delivery, fromUpstream bool) {
+	slot := &pairSlot{
+		corr:      d.Corr,
+		idx:       d.Idx,
+		qubit:     d.Pair.Half(d.Pair.LocalSide(string(n.id))),
+		arrivedAt: n.sim.Now(),
+	}
+	if cs.role == RoleIntermediate {
+		n.intermediateLinkRule(cs, slot, fromUpstream)
+		return
+	}
+	n.endLinkRule(cs, slot)
+}
+
+// intermediateLinkRule is Algorithm 7: queue the pair, arm its cutoff, and
+// swap as soon as an upstream and a downstream pair are both available.
+// Swaps always take the oldest unexpired pairs (§5 evaluation setup).
+//
+// On carbon-storage platforms (§5.3) the freshly delivered half sits on the
+// node's only communication qubit; it is first moved into a storage qubit so
+// the electron can generate on the other link. The slot is not swappable
+// until the move completes.
+func (n *Node) intermediateLinkRule(cs *circuit, slot *pairSlot, fromUpstream bool) {
+	if cs.entry.Cutoff > 0 {
+		slot.cutoff = n.sim.Schedule(cs.entry.Cutoff, func() {
+			n.expiryRule(cs, slot, fromUpstream)
+		})
+	}
+	if fromUpstream {
+		cs.upQ = append(cs.upQ, slot)
+	} else {
+		cs.downQ = append(cs.downQ, slot)
+	}
+	if n.dev.Params().HasCarbon && slot.qubit.Kind() == device.Communication {
+		slot.moving = true
+		n.dev.MoveToStorage(slot.qubit, func(newQ *device.Qubit, ok bool) {
+			slot.moving = false
+			if !ok {
+				// No storage space: treat like a cutoff discard so the
+				// tracking machinery cleans the chain up.
+				n.sim.Cancel(slot.cutoff)
+				n.expiryRule(cs, slot, fromUpstream)
+				return
+			}
+			slot.qubit = newQ
+			n.trySwap(cs)
+		})
+		return
+	}
+	n.trySwap(cs)
+}
+
+// swappable finds the oldest slot in q that is ready for a swap.
+func swappable(q []*pairSlot) *pairSlot {
+	for _, s := range q {
+		if !s.moving {
+			return s
+		}
+	}
+	return nil
+}
+
+func (n *Node) trySwap(cs *circuit) {
+	for {
+		up := swappable(cs.upQ)
+		down := swappable(cs.downQ)
+		if up == nil || down == nil {
+			return
+		}
+		cs.upQ = removeSlot(cs.upQ, up)
+		cs.downQ = removeSlot(cs.downQ, down)
+		n.sim.Cancel(up.cutoff)
+		n.sim.Cancel(down.cutoff)
+		n.dev.Swap(up.qubit, down.qubit, func(_ *device.Pair, outcome quantum.BellIndex) {
+			n.swapDone(cs, up, down, outcome)
+		})
+	}
+}
+
+// swapDone logs swap records and forwards any parked TRACKs (the tail halves
+// of Algorithm 7).
+func (n *Node) swapDone(cs *circuit, up, down *pairSlot, outcome quantum.BellIndex) {
+	cs.swaps++
+	if pt, ok := cs.upTrack[up.corr]; ok {
+		delete(cs.upTrack, up.corr)
+		tm := pt.msg
+		tm.LinkCorr = down.corr
+		tm.Outcome = quantum.Combine(tm.Outcome, down.idx, outcome)
+		n.sendDown(cs, tm)
+	} else {
+		cs.upRecord[up.corr] = swapRecord{otherCorr: down.corr, otherIdx: down.idx, outcome: outcome, at: n.sim.Now()}
+	}
+	if pt, ok := cs.downTrack[down.corr]; ok {
+		delete(cs.downTrack, down.corr)
+		tm := pt.msg
+		tm.LinkCorr = up.corr
+		tm.Outcome = quantum.Combine(tm.Outcome, up.idx, outcome)
+		n.sendUp(cs, tm)
+	} else {
+		cs.downRecord[down.corr] = swapRecord{otherCorr: up.corr, otherIdx: up.idx, outcome: outcome, at: n.sim.Now()}
+	}
+}
+
+// expiryRule is Algorithm 9: the cutoff timer popped for a queued pair.
+func (n *Node) expiryRule(cs *circuit, slot *pairSlot, fromUpstream bool) {
+	if fromUpstream {
+		cs.upQ = removeSlot(cs.upQ, slot)
+	} else {
+		cs.downQ = removeSlot(cs.downQ, slot)
+	}
+	cs.discards++
+	n.dev.Free(slot.qubit)
+	if fromUpstream {
+		if pt, ok := cs.upTrack[slot.corr]; ok {
+			delete(cs.upTrack, slot.corr)
+			n.sendUp(cs, ExpireMsg{Circuit: cs.entry.Circuit, Origin: pt.msg.Origin, ToHead: true})
+			cs.expiresSent++
+		} else {
+			cs.upExpired[slot.corr] = n.sim.Now()
+		}
+		return
+	}
+	if pt, ok := cs.downTrack[slot.corr]; ok {
+		delete(cs.downTrack, slot.corr)
+		n.sendDown(cs, ExpireMsg{Circuit: cs.entry.Circuit, Origin: pt.msg.Origin, ToHead: false})
+		cs.expiresSent++
+	} else {
+		cs.downExpired[slot.corr] = n.sim.Now()
+	}
+}
+
+func removeSlot(q []*pairSlot, s *pairSlot) []*pairSlot {
+	for i, x := range q {
+		if x == s {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// --- TRACK rules ----------------------------------------------------------
+
+func (n *Node) onTrack(m TrackMsg) {
+	cs := n.mustCircuit(m.Circuit)
+	if cs.role == RoleIntermediate {
+		n.intermediateTrackRule(cs, m)
+		return
+	}
+	n.endTrackRule(cs, m)
+}
+
+// intermediateTrackRule is Algorithm 8: resolve the TRACK against a swap
+// record, an expiry record, or park it until the swap completes.
+func (n *Node) intermediateTrackRule(cs *circuit, m TrackMsg) {
+	if m.FromHead {
+		if rec, ok := cs.upRecord[m.LinkCorr]; ok {
+			delete(cs.upRecord, m.LinkCorr)
+			m.LinkCorr = rec.otherCorr
+			m.Outcome = quantum.Combine(m.Outcome, rec.otherIdx, rec.outcome)
+			n.sendDown(cs, m)
+			return
+		}
+		if _, dead := cs.upExpired[m.LinkCorr]; dead {
+			delete(cs.upExpired, m.LinkCorr)
+			n.sendUp(cs, ExpireMsg{Circuit: cs.entry.Circuit, Origin: m.Origin, ToHead: true})
+			cs.expiresSent++
+			return
+		}
+		cs.upTrack[m.LinkCorr] = parkedTrack{msg: m, at: n.sim.Now()}
+		return
+	}
+	if rec, ok := cs.downRecord[m.LinkCorr]; ok {
+		delete(cs.downRecord, m.LinkCorr)
+		m.LinkCorr = rec.otherCorr
+		m.Outcome = quantum.Combine(m.Outcome, rec.otherIdx, rec.outcome)
+		n.sendUp(cs, m)
+		return
+	}
+	if _, dead := cs.downExpired[m.LinkCorr]; dead {
+		delete(cs.downExpired, m.LinkCorr)
+		n.sendDown(cs, ExpireMsg{Circuit: cs.entry.Circuit, Origin: m.Origin, ToHead: false})
+		cs.expiresSent++
+		return
+	}
+	cs.downTrack[m.LinkCorr] = parkedTrack{msg: m, at: n.sim.Now()}
+}
+
+// --- EXPIRE / TestResult relay ---------------------------------------------
+
+func (n *Node) onExpire(m ExpireMsg) {
+	cs := n.mustCircuit(m.Circuit)
+	if cs.role == RoleIntermediate {
+		if m.ToHead {
+			n.sendUp(cs, m)
+		} else {
+			n.sendDown(cs, m)
+		}
+		return
+	}
+	n.endExpireRule(cs, m)
+}
+
+func (n *Node) onTestResult(m TestResultMsg) {
+	cs := n.mustCircuit(m.Circuit)
+	if cs.role == RoleIntermediate {
+		if m.ToHead {
+			n.sendUp(cs, m)
+		} else {
+			n.sendDown(cs, m)
+		}
+		return
+	}
+	n.headRecordTestResult(cs, m)
+}

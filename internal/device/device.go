@@ -1,0 +1,344 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qnp/internal/hardware"
+	"qnp/internal/quantum"
+	"qnp/internal/sim"
+)
+
+// Device is one node's quantum hardware: its qubit memory (managed QMM-style
+// with alloc/free), its serial operation timeline (the quantum task
+// scheduler of Fig. 4 — current platforms execute one local quantum
+// operation at a time), and the hardware parameter set.
+type Device struct {
+	id     string
+	params hardware.Params
+	sim    *sim.Simulation
+	rng    *rand.Rand
+	qubits []*Qubit
+	// busyUntil is the quantum task scheduler's horizon: local operations
+	// submitted while another runs queue behind it.
+	busyUntil sim.Time
+	onFree    []func()
+	// notifying guards against re-entrant free-notification storms.
+	notifying bool
+}
+
+// New creates a device for node id with the given hardware parameters.
+func New(s *sim.Simulation, id string, params hardware.Params) *Device {
+	return &Device{
+		id:     id,
+		params: params,
+		sim:    s,
+		rng:    s.Rand(),
+	}
+}
+
+// ID returns the node ID.
+func (d *Device) ID() string { return d.id }
+
+// Params returns the hardware parameter set.
+func (d *Device) Params() hardware.Params { return d.params }
+
+// AddCommQubits adds n communication qubits dedicated to the named link
+// (empty string = shared across links, as on the near-term single-electron
+// platform).
+func (d *Device) AddCommQubits(link string, n int) {
+	for i := 0; i < n; i++ {
+		d.qubits = append(d.qubits, &Qubit{
+			dev:       d,
+			id:        len(d.qubits),
+			kind:      Communication,
+			link:      link,
+			lifetimes: Lifetimes(d.params.Electron),
+			free:      true,
+		})
+	}
+}
+
+// AddStorageQubits adds n storage (carbon) qubits.
+func (d *Device) AddStorageQubits(n int) {
+	for i := 0; i < n; i++ {
+		d.qubits = append(d.qubits, &Qubit{
+			dev:       d,
+			id:        len(d.qubits),
+			kind:      Storage,
+			link:      "",
+			lifetimes: Lifetimes(d.params.Carbon),
+			free:      true,
+		})
+	}
+}
+
+// AllocComm allocates a free communication qubit usable on the given link:
+// first a link-dedicated one, then a shared one.
+func (d *Device) AllocComm(link string) (*Qubit, bool) {
+	var shared *Qubit
+	for _, q := range d.qubits {
+		if !q.free || q.kind != Communication {
+			continue
+		}
+		if q.link == link {
+			q.free = false
+			return q, true
+		}
+		if q.link == "" && shared == nil {
+			shared = q
+		}
+	}
+	if shared != nil {
+		shared.free = false
+		return shared, true
+	}
+	return nil, false
+}
+
+// AllocStorage allocates a free storage qubit.
+func (d *Device) AllocStorage() (*Qubit, bool) {
+	for _, q := range d.qubits {
+		if q.free && q.kind == Storage {
+			q.free = false
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// FreeCommCount reports the number of free communication qubits usable on
+// the given link.
+func (d *Device) FreeCommCount(link string) int {
+	n := 0
+	for _, q := range d.qubits {
+		if q.free && q.kind == Communication && (q.link == link || q.link == "") {
+			n++
+		}
+	}
+	return n
+}
+
+// free returns a qubit to the pool and fires free-notifications. It resets
+// the qubit's lifetimes to its native kind (a carbon that held a moved state
+// stays carbon; an electron stays electron).
+func (d *Device) free(q *Qubit) {
+	if q.free {
+		return
+	}
+	q.free = true
+	q.pair = nil
+	if q.kind == Communication {
+		q.lifetimes = Lifetimes(d.params.Electron)
+	} else {
+		q.lifetimes = Lifetimes(d.params.Carbon)
+	}
+	d.notifyFree()
+}
+
+func (d *Device) notifyFree() {
+	if d.notifying {
+		return
+	}
+	d.notifying = true
+	for _, fn := range d.onFree {
+		fn()
+	}
+	d.notifying = false
+}
+
+// Free releases an allocated qubit that holds no pair (or discards the
+// pair's local half if it does).
+func (d *Device) Free(q *Qubit) {
+	if q.pair != nil {
+		d.Discard(q.pair)
+		return
+	}
+	d.free(q)
+}
+
+// OnFree registers a callback invoked whenever a qubit becomes free — the
+// link layer uses it to resume blocked generation.
+func (d *Device) OnFree(fn func()) { d.onFree = append(d.onFree, fn) }
+
+// Discard releases this node's half of a pair (cutoff expiry or protocol
+// discard). The pair is marked broken; the remote half is untouched — the
+// remote node discards on its own timer or on an EXPIRE message, exactly the
+// window the paper's end-node rule exists to close.
+func (d *Device) Discard(p *Pair) {
+	s := p.LocalSide(d.id)
+	if s < 0 {
+		return
+	}
+	p.broken = true
+	p.releaseHalf(s)
+}
+
+// SubmitOp enqueues a local quantum operation of the given duration on the
+// task scheduler; fn runs at its completion time. The returned time is when
+// the operation completes.
+func (d *Device) SubmitOp(dur sim.Duration, fn func()) sim.Time {
+	start := d.sim.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	end := start.Add(dur)
+	d.busyUntil = end
+	d.sim.ScheduleAt(end, fn)
+	return end
+}
+
+// BusyUntil reports the task scheduler's current horizon.
+func (d *Device) BusyUntil() sim.Time { return d.busyUntil }
+
+// Swap schedules an entanglement swap between the pairs whose local halves
+// live on qubits q1 and q2. The pairs are resolved from the qubits at
+// *completion* time: a concurrent swap at a neighbouring node may merge a
+// shared pair mid-flight, rewiring the qubit to the merged pair — the
+// physical qubit, not the pair object, is the stable identity. At completion
+// the two local qubits are freed, the remote qubits are rewired into the
+// merged pair, and done receives the merged pair plus the announced two-bit
+// outcome.
+func (d *Device) Swap(q1, q2 *Qubit, done func(merged *Pair, outcome quantum.BellIndex)) {
+	if q1.pair == nil || q2.pair == nil {
+		panic(fmt.Sprintf("device %s: swap on qubits without pairs", d.id))
+	}
+	d.SubmitOp(d.params.SwapDuration(), func() {
+		now := d.sim.Now()
+		p1, p2 := q1.pair, q2.pair
+		s1, s2 := p1.LocalSide(d.id), p2.LocalSide(d.id)
+		if s1 < 0 || s2 < 0 {
+			panic(fmt.Sprintf("device %s: swap halves vanished mid-flight", d.id))
+		}
+		p1.AdvanceTo(now)
+		p2.AdvanceTo(now)
+		// Orient so the swap circuit sees (remote1, local1) ⊗ (local2,
+		// remote2). Exchanging the qubits of a Bell-diagnosable state keeps
+		// its Bell index (|Ψ−> only changes global phase).
+		rho1 := p1.rho
+		if s1 == 0 {
+			rho1 = quantum.ApplyGate2(rho1, quantum.SWAP, 0, 2)
+		}
+		rho2 := p2.rho
+		if s2 == 1 {
+			rho2 = quantum.ApplyGate2(rho2, quantum.SWAP, 0, 2)
+		}
+		res := quantum.Swap(rho1, rho2, d.params.SwapConfig(), d.rng)
+
+		remote1 := p1.halves[1-s1]
+		remote2 := p2.halves[1-s2]
+		created := p1.createdAt
+		if p2.createdAt < created {
+			created = p2.createdAt
+		}
+		merged := &Pair{
+			rho:        res.Rho,
+			trueIdx:    quantum.Combine(p1.trueIdx, p2.trueIdx, res.Outcome),
+			createdAt:  created,
+			lastUpdate: now,
+		}
+		merged.consumed[0] = p1.consumed[1-s1]
+		merged.consumed[1] = p2.consumed[1-s2]
+		merged.halves[0] = remote1
+		merged.halves[1] = remote2
+		if remote1 != nil {
+			remote1.pair, remote1.side = merged, 0
+		}
+		if remote2 != nil {
+			remote2.pair, remote2.side = merged, 1
+		}
+		// Free this node's qubits: the Bell measurement consumed them.
+		p1.releaseHalf(s1)
+		p2.releaseHalf(s2)
+		done(merged, res.Outcome)
+	})
+}
+
+// MoveToStorage transfers the pair half held by communication qubit q into a
+// storage qubit (the near-term platform's mandatory step before the electron
+// can generate on another link). The transfer costs MoveDuration and applies
+// depolarising noise from the two-qubit gate and carbon initialisation. done
+// receives the storage qubit now holding the half, or ok=false if no storage
+// qubit is free. The pair is resolved from the qubit at completion,
+// surviving concurrent remote merges.
+func (d *Device) MoveToStorage(q *Qubit, done func(newQ *Qubit, ok bool)) {
+	if q.pair == nil {
+		panic(fmt.Sprintf("device %s: move on qubit without pair", d.id))
+	}
+	storage, ok := d.AllocStorage()
+	if !ok {
+		done(nil, false)
+		return
+	}
+	d.SubmitOp(d.params.MoveDuration(), func() {
+		now := d.sim.Now()
+		p := q.pair
+		s := p.LocalSide(d.id)
+		if s < 0 {
+			d.free(storage)
+			done(nil, false)
+			return
+		}
+		p.AdvanceTo(now)
+		pNoise := 1 - d.params.Gates.TwoQubitFidelity*d.params.Gates.CarbonInitFidelity
+		p.applyLocal(s, quantum.Depolarizing1(pNoise))
+		old := p.halves[s]
+		storage.pair, storage.side = p, s
+		p.halves[s] = storage
+		old.pair = nil
+		d.free(old)
+		done(storage, true)
+	})
+}
+
+// MeasureHalf measures the pair half held by qubit q in the given basis
+// after the readout duration, frees the qubit, and hands the reported bit to
+// done. The remote half retains the (collapsed) conditional state — this is
+// what makes the paper's "early delivery" MEASURE mode physically sound: the
+// effect propagates through later swaps. The pair is resolved from the qubit
+// at completion time.
+func (d *Device) MeasureHalf(q *Qubit, basis quantum.Basis, done func(bit int)) {
+	if q.pair == nil {
+		panic(fmt.Sprintf("device %s: measure on qubit without pair", d.id))
+	}
+	d.SubmitOp(d.params.Gates.ReadoutTime, func() {
+		now := d.sim.Now()
+		p := q.pair
+		s := p.LocalSide(d.id)
+		if s < 0 {
+			panic(fmt.Sprintf("device %s: measured half vanished mid-flight", d.id))
+		}
+		p.AdvanceTo(now)
+		bit, post := quantum.MeasureInBasis(p.rho, s, 2, basis, d.params.Gates.Readout, d.rng)
+		p.rho = post
+		p.consumed[s] = true
+		p.releaseHalf(s)
+		done(bit)
+	})
+}
+
+// ApplyAttemptDephasing models the nuclear-spin dephasing of stored carbon
+// qubits caused by k entanglement generation attempts on this node's
+// electron (§5.3 / Kalb et al.). Each stored pair half takes a phase-flip
+// channel with the k-attempt accumulated probability.
+func (d *Device) ApplyAttemptDephasing(k int) {
+	per := d.params.AttemptDephasingProb
+	if per <= 0 || k <= 0 {
+		return
+	}
+	// k compositions of a phase flip with probability per:
+	// p_k = (1 − (1−2·per)^k)/2.
+	pk := (1 - math.Pow(1-2*per, float64(k))) / 2
+	ch := quantum.PhaseFlip(pk)
+	for _, q := range d.qubits {
+		if q.free || q.kind != Storage || q.pair == nil {
+			continue
+		}
+		q.pair.AdvanceTo(d.sim.Now())
+		q.pair.applyLocal(q.side, ch)
+	}
+}
+
+// Qubits exposes the memory for inspection in tests.
+func (d *Device) Qubits() []*Qubit { return d.qubits }

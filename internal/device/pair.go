@@ -1,0 +1,219 @@
+// Package device models a quantum network node's hardware resources the way
+// the paper's Fig. 4 lays them out: a quantum memory of communication and
+// storage qubits managed by a quantum memory management unit (QMM), and a
+// quantum task scheduler that serialises local quantum operations
+// (entanglement swaps, moves to storage, measurements) on the device.
+//
+// The package also owns Pair, the live representation of an entangled pair:
+// an exact two-qubit density matrix shared between two nodes, with lazy
+// decoherence — the state is advanced under each side's T1/T2 only when an
+// operation touches it, so idle qubits cost nothing to simulate.
+package device
+
+import (
+	"fmt"
+
+	"qnp/internal/linalg"
+	"qnp/internal/quantum"
+	"qnp/internal/sim"
+)
+
+// Kind classifies qubits the way the paper does: communication qubits can
+// participate in entanglement generation; storage qubits only hold state.
+type Kind int
+
+// Qubit kinds.
+const (
+	Communication Kind = iota
+	Storage
+)
+
+func (k Kind) String() string {
+	if k == Storage {
+		return "storage"
+	}
+	return "communication"
+}
+
+// Lifetimes mirrors hardware.Lifetimes (seconds; zero = no decay). Duplicated
+// here to keep the device package independent of parameter tables.
+type Lifetimes struct {
+	T1, T2 float64
+}
+
+// Qubit is one physical qubit in a node's memory.
+type Qubit struct {
+	dev  *Device
+	id   int
+	kind Kind
+	// link dedicates a communication qubit to one physical link (the main
+	// evaluation gives each link two dedicated qubits per node); empty means
+	// usable for any link.
+	link string
+	// lifetimes are the decoherence parameters currently governing this
+	// qubit; they change when a state moves between electron and carbon.
+	lifetimes Lifetimes
+	pair      *Pair
+	side      int
+	free      bool
+}
+
+// ID returns the qubit's index within its device.
+func (q *Qubit) ID() int { return q.id }
+
+// Kind returns the qubit's kind.
+func (q *Qubit) Kind() Kind { return q.kind }
+
+// Node returns the owning device's node ID.
+func (q *Qubit) Node() string { return q.dev.id }
+
+// Pair returns the pair whose half this qubit holds, or nil.
+func (q *Qubit) Pair() *Pair { return q.pair }
+
+// Free reports whether the qubit is unallocated.
+func (q *Qubit) Free() bool { return q.free }
+
+// Pair is a (possibly multi-hop) entangled pair: an exact 4×4 density matrix
+// whose two qubits live at two different nodes. The left qubit is index 0 of
+// the state, the right qubit index 1.
+type Pair struct {
+	rho        *linalg.Matrix
+	trueIdx    quantum.BellIndex
+	halves     [2]*Qubit // a half becomes nil once measured or released
+	createdAt  sim.Time
+	lastUpdate sim.Time
+	broken     bool
+	// consumed marks halves that no longer carry live state (measured) so
+	// decoherence stops being applied to them.
+	consumed [2]bool
+}
+
+// NewPair wires a fresh pair between two allocated qubits. The qubits must
+// belong to different devices and be allocated (not free).
+func NewPair(now sim.Time, rho *linalg.Matrix, idx quantum.BellIndex, left, right *Qubit) *Pair {
+	if left.dev == right.dev {
+		panic("device: pair halves on the same node")
+	}
+	if left.free || right.free {
+		panic("device: pair over free qubits")
+	}
+	p := &Pair{rho: rho, trueIdx: idx, createdAt: now, lastUpdate: now}
+	p.halves[0], p.halves[1] = left, right
+	left.pair, left.side = p, 0
+	right.pair, right.side = p, 1
+	return p
+}
+
+// CreatedAt returns the generation time of the oldest constituent link-pair.
+func (p *Pair) CreatedAt() sim.Time { return p.createdAt }
+
+// TrueIdx is the ground-truth Bell index accumulated through swaps. The
+// protocol must NOT read this (it reconstructs its own view from TRACK
+// messages); it exists for verification and for the oracle baseline.
+func (p *Pair) TrueIdx() quantum.BellIndex { return p.trueIdx }
+
+// Broken reports whether a half was discarded, killing the pair.
+func (p *Pair) Broken() bool { return p.broken }
+
+// Half returns the qubit at side 0 (left) or 1 (right); nil once consumed.
+func (p *Pair) Half(side int) *Qubit { return p.halves[side] }
+
+// LocalSide returns which side of the pair lives at the given node, or -1.
+func (p *Pair) LocalSide(node string) int {
+	for s, q := range p.halves {
+		if q != nil && q.dev.id == node {
+			return s
+		}
+	}
+	return -1
+}
+
+// RemoteNode returns the node holding the other half relative to node.
+func (p *Pair) RemoteNode(node string) string {
+	s := p.LocalSide(node)
+	if s < 0 {
+		return ""
+	}
+	if other := p.halves[1-s]; other != nil {
+		return other.dev.id
+	}
+	return ""
+}
+
+// AdvanceTo applies lazy decoherence: each live half decays under its
+// current qubit's T1/T2 for the elapsed time since the last update.
+func (p *Pair) AdvanceTo(now sim.Time) {
+	if now < p.lastUpdate {
+		panic(fmt.Sprintf("device: pair advanced backwards: %v < %v", now, p.lastUpdate))
+	}
+	dt := now.Sub(p.lastUpdate).Seconds()
+	if dt > 0 {
+		for s, q := range p.halves {
+			if q == nil || p.consumed[s] {
+				continue
+			}
+			p.rho = quantum.Decohere(p.rho, s, 2, dt, q.lifetimes.T1, q.lifetimes.T2)
+		}
+	}
+	p.lastUpdate = now
+}
+
+// StateAt returns a copy of the pair state as it would be at time t, without
+// mutating the pair. This is the simulation-only oracle used by the baseline
+// protocol of §5.2 and by verification tests.
+func (p *Pair) StateAt(t sim.Time) *linalg.Matrix {
+	rho := p.rho.Clone()
+	dt := t.Sub(p.lastUpdate).Seconds()
+	if dt > 0 {
+		for s, q := range p.halves {
+			if q == nil || p.consumed[s] {
+				continue
+			}
+			rho = quantum.Decohere(rho, s, 2, dt, q.lifetimes.T1, q.lifetimes.T2)
+		}
+	}
+	return rho
+}
+
+// FidelityAt returns the oracle fidelity with the true Bell index at time t.
+func (p *Pair) FidelityAt(t sim.Time) float64 {
+	return quantum.Fidelity(p.StateAt(t), p.trueIdx)
+}
+
+// FidelityWith returns the oracle fidelity against an arbitrary declared
+// Bell index — what an application would actually see given the protocol's
+// (possibly wrong) tracking information.
+func (p *Pair) FidelityWith(t sim.Time, idx quantum.BellIndex) float64 {
+	return quantum.Fidelity(p.StateAt(t), idx)
+}
+
+// applyLocal applies a Kraus channel to one side's qubit, in place.
+func (p *Pair) applyLocal(side int, k quantum.Kraus) {
+	p.rho = k.Apply(p.rho, side, 2)
+}
+
+// ApplyPauli applies a Pauli correction to one side (used by the head-end's
+// final-state correction). The declared index transformation is the
+// caller's business; the true index flips accordingly.
+func (p *Pair) ApplyPauli(side int, x, z uint8) {
+	if x == 1 {
+		p.rho = quantum.ApplyGate1(p.rho, quantum.X, side, 2)
+	}
+	if z == 1 {
+		p.rho = quantum.ApplyGate1(p.rho, quantum.Z, side, 2)
+	}
+	p.trueIdx ^= quantum.BellIndex(x) | quantum.BellIndex(z)<<1
+}
+
+// releaseHalf detaches the qubit at side and frees it.
+func (p *Pair) releaseHalf(side int) {
+	q := p.halves[side]
+	if q == nil {
+		return
+	}
+	p.halves[side] = nil
+	q.dev.free(q)
+}
+
+// Rho exposes the current density matrix for inspection (tests, examples).
+func (p *Pair) Rho() *linalg.Matrix { return p.rho }

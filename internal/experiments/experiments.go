@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§5). Each FigN function runs the corresponding
+// scenario on the full protocol stack and returns the series the paper
+// plots; the WriteTo methods print them as aligned text tables.
+//
+// Absolute numbers come from this repository's simulator, not the authors'
+// NetSquid testbed, so the comparison target is the *shape* of each result:
+// who wins, where the knees and crossovers sit, and the scaling trends.
+// EXPERIMENTS.md records paper-versus-measured for every item.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qnp/internal/sim"
+)
+
+// Options control experiment size. Runs is the number of independent
+// simulation repetitions averaged per point (the paper uses 100; the
+// default here is smaller so the whole suite regenerates in minutes).
+type Options struct {
+	Runs int
+	Seed int64
+	// Quick shrinks workloads (fewer pairs, shorter horizons) for smoke
+	// runs and benchmarks.
+	Quick bool
+}
+
+// DefaultOptions is the standard reproduction size.
+func DefaultOptions() Options { return Options{Runs: 10, Seed: 1} }
+
+// QuickOptions is the smoke-test size.
+func QuickOptions() Options { return Options{Runs: 2, Seed: 1, Quick: true} }
+
+// parallelRuns fans out independent simulation runs across CPUs; fn must
+// build its own Network from the given seed. Results are kept in run order
+// so output is deterministic regardless of scheduling.
+func parallelRuns[T any](o Options, fn func(seed int64) T) []T {
+	out := make([]T, o.Runs)
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i := 0; i < o.Runs; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = fn(o.Seed + int64(i)*1000003)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+func seconds(d sim.Duration) float64 { return d.Seconds() }
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The quick variants of every figure must run and produce physically
+// sensible headline numbers — this is the regression net for the whole
+// reproduction harness.
+
+func TestFig5Quick(t *testing.T) {
+	d := Fig5(QuickOptions())
+	if len(d.Samples) < 100 {
+		t.Fatalf("samples = %d", len(d.Samples))
+	}
+	// Paper: mean ≈10 ms, 95% within ≈30 ms.
+	if d.MeanMS < 5 || d.MeanMS > 20 {
+		t.Errorf("mean = %.1f ms, want ≈10", d.MeanMS)
+	}
+	if d.P95MS < 15 || d.P95MS > 60 {
+		t.Errorf("p95 = %.1f ms, want ≈30", d.P95MS)
+	}
+	if cdf := d.CDF(1.0); cdf < 0.99 {
+		t.Errorf("CDF(1s) = %v", cdf)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "Fig. 5") {
+		t.Error("Print output missing header")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	d := Fig8(QuickOptions())
+	if len(d.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// Latency grows with load on the single-circuit panel.
+	var one, eight float64
+	for _, p := range d.Points {
+		if p.Circuits == 1 && !p.ShortCut {
+			if p.Requests == 1 {
+				one = p.LatencyS
+			}
+			if p.Requests == 8 {
+				eight = p.LatencyS
+			}
+		}
+	}
+	if eight <= one {
+		t.Errorf("latency not increasing with load: 1→%.2f 8→%.2f", one, eight)
+	}
+	// The congestion collapse: 4 circuits with the long cutoff are far
+	// slower at load 8 than with the short cutoff.
+	var long4, short4 float64
+	for _, p := range d.Points {
+		if p.Circuits == 4 && p.Requests == 8 {
+			if p.ShortCut {
+				short4 = p.LatencyS
+			} else {
+				long4 = p.LatencyS
+			}
+		}
+	}
+	if long4 < 2*short4 {
+		t.Errorf("no congestion collapse: long=%.2f short=%.2f", long4, short4)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "panel: 4 circuit(s)") {
+		t.Error("Print output missing panels")
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	d := Fig9(QuickOptions())
+	if len(d.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// Congestion raises latency at comparable load.
+	var empty, congested float64
+	for _, p := range d.Points {
+		if p.IntervalS == 0.3 {
+			if p.Congested {
+				congested = p.LatencyS
+			} else {
+				empty = p.LatencyS
+			}
+		}
+	}
+	if congested <= empty {
+		t.Errorf("congested latency %.3f not above empty %.3f", congested, empty)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "congested network") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFig10ABQuick(t *testing.T) {
+	d := Fig10AB(QuickOptions())
+	// Throughput grows with memory lifetime for the cutoff protocol, and
+	// the F=0.8 circuit outpaces the F=0.9 circuit.
+	get := func(t2, f float64, oracle bool) float64 {
+		for _, p := range d.Points {
+			if p.T2Star == t2 && p.Fidelity == f && p.Oracle == oracle {
+				return p.PairsPS
+			}
+		}
+		return -1
+	}
+	if get(60, 0.9, false) <= get(0.5, 0.9, false) {
+		t.Error("cutoff throughput did not grow with lifetime (F=0.9)")
+	}
+	if get(60, 0.8, false) <= get(60, 0.9, false) {
+		t.Error("F=0.8 circuit not faster than F=0.9")
+	}
+	// The cutoff beats the oracle baseline at short lifetimes (the paper's
+	// central claim in §5.2).
+	if get(0.5, 0.8, false) <= get(0.5, 0.8, true) {
+		t.Errorf("cutoff (%.2f) not above oracle (%.2f) at T2*=0.5",
+			get(0.5, 0.8, false), get(0.5, 0.8, true))
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "panel F=0.9") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFig10CQuick(t *testing.T) {
+	d := Fig10C(QuickOptions())
+	if d.CutoffMS <= 0 {
+		t.Error("no cutoff reported")
+	}
+	get := func(ms float64) (raw, good float64) {
+		for _, p := range d.Points {
+			if p.DelayMS == ms && p.Fidelity == 0.8 {
+				return p.RawPS, p.GoodPS
+			}
+		}
+		return -1, -1
+	}
+	raw0, _ := get(0)
+	raw16, _ := get(16)
+	if raw16 >= raw0 {
+		t.Errorf("throughput did not degrade with delay: %.1f → %.1f", raw0, raw16)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "dashed line") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	d := Fig11(QuickOptions())
+	if len(d.Deliveries) == 0 {
+		t.Fatal("no deliveries on near-term hardware")
+	}
+	// Pair times are seconds-scale on 25 km links.
+	if d.Deliveries[0].AtS < 0.5 {
+		t.Errorf("first delivery at %.2f s — implausibly fast for 25 km near-term", d.Deliveries[0].AtS)
+	}
+	// The tuned configuration demonstrates entanglement (mean F ≥ 0.5).
+	if d.MeanFid < 0.45 {
+		t.Errorf("mean fidelity %.3f too low", d.MeanFid)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "near-term") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTables(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "Two-qubit gate", "Visibility", "0.998", "0.992"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output missing %q", want)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if mean(nil) != 0 || percentile(nil, 0.5) != 0 {
+		t.Error("empty-input helpers wrong")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if percentile([]float64{5, 1, 3}, 0.5) != 3 {
+		t.Error("percentile wrong")
+	}
+	if seconds(1500000000) != 1.5 {
+		t.Error("seconds wrong")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qnp/internal/routing"
+	"qnp/internal/sim"
+	"qnp/qnet"
+)
+
+// Fig11Delivery is one step of the Fig. 11 staircase.
+type Fig11Delivery struct {
+	AtS      float64
+	Count    int
+	Fidelity float64 // oracle fidelity at delivery (for validation)
+}
+
+// Fig11Data is the near-term hardware demonstration.
+type Fig11Data struct {
+	Deliveries  []Fig11Delivery
+	MeanFid     float64
+	LinkF       float64
+	CutoffS     float64
+	TargetF     float64
+	DeliveredOK int // deliveries meeting the 0.5 target
+}
+
+// Fig11 reproduces §5.3: ten pairs at fidelity 0.5 over a three-node chain
+// with 25 km telecom links on near-term hardware — one communication qubit
+// per node, carbon storage with per-attempt nuclear dephasing. As in the
+// paper ("we manually populate the routing tables ... we set the
+// link-fidelities as high as possible ... and tune the cutoff timer"), the
+// circuit plan is hand-built rather than produced by the routing controller.
+func Fig11(o Options) *Fig11Data {
+	pairs := 10
+	if o.Quick {
+		pairs = 3
+	}
+	cfg := qnet.NearTermConfig(25000)
+	cfg.Seed = o.Seed
+	net := qnet.Chain(cfg, 3)
+
+	const (
+		linkF   = 0.81
+		cutoff  = 1000 * sim.Millisecond
+		targetF = 0.5
+	)
+	pairTime, ok := cfg.Link.ExpectedPairTime(cfg.Params, linkF)
+	if !ok {
+		panic("fig11: link cannot reach the hand-picked fidelity")
+	}
+	plan := routing.Plan{
+		Path:             []string{"n0", "n1", "n2"},
+		LinkFidelity:     linkF,
+		Cutoff:           cutoff,
+		LinkPairTime:     pairTime,
+		MaxLPR:           1 / pairTime.Seconds(),
+		EndToEndFidelity: targetF,
+	}
+	vc, err := net.EstablishPlan("nearterm", plan)
+	if err != nil {
+		panic(err)
+	}
+
+	d := &Fig11Data{LinkF: linkF, CutoffS: cutoff.Seconds(), TargetF: targetF}
+	start := net.Sim.Now()
+	var fids []float64
+	vc.HandleTail(qnet.Handlers{AutoConsume: true})
+	vc.HandleHead(qnet.Handlers{
+		AutoConsume: true,
+		OnPair: func(del qnet.Delivered) {
+			f := 0.0
+			if del.Pair != nil {
+				f = del.Pair.FidelityWith(del.At, del.State)
+			}
+			fids = append(fids, f)
+			if f >= targetF {
+				d.DeliveredOK++
+			}
+			d.Deliveries = append(d.Deliveries, Fig11Delivery{
+				AtS:      del.At.Sub(start).Seconds(),
+				Count:    len(d.Deliveries) + 1,
+				Fidelity: f,
+			})
+		},
+	})
+	if err := vc.Submit(qnet.Request{ID: "r", Type: qnet.Keep, NumPairs: pairs}); err != nil {
+		panic(err)
+	}
+	deadline := start.Add(30 * sim.Minute)
+	for len(d.Deliveries) < pairs && net.Sim.Now() < deadline {
+		if !net.Sim.Step() {
+			break
+		}
+	}
+	d.MeanFid = mean(fids)
+	return d
+}
+
+// Print writes the delivery staircase.
+func (d *Fig11Data) Print(w io.Writer) {
+	header(w, "Fig. 11 — pairs delivered over time on near-term hardware (3 nodes, 25 km links)")
+	fmt.Fprintf(w, "hand-tuned: link fidelity %.2f, cutoff %.2f s; target end-to-end F=%.2f\n",
+		d.LinkF, d.CutoffS, d.TargetF)
+	fmt.Fprintf(w, "%10s %7s %10s\n", "t (s)", "pairs", "fidelity")
+	for _, del := range d.Deliveries {
+		fmt.Fprintf(w, "%10.1f %7d %10.3f\n", del.AtS, del.Count, del.Fidelity)
+	}
+	fmt.Fprintf(w, "mean delivered fidelity %.3f; %d/%d deliveries met F≥%.2f\n",
+		d.MeanFid, d.DeliveredOK, len(d.Deliveries), d.TargetF)
+}

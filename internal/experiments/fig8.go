@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qnp/internal/sim"
+	"qnp/qnet"
+)
+
+// Fig8Point is one marker of Fig. 8: the mean completion latency of the
+// 100-pair requests carried by the A0-B0 circuit when reqCount simultaneous
+// requests are spread round-robin over the scenario's circuits.
+type Fig8Point struct {
+	Circuits  int
+	ShortCut  bool
+	Fidelity  float64
+	Requests  int
+	LatencyS  float64
+	Completed bool // false if the run hit the simulation cap (congestion collapse)
+}
+
+// Fig8Data holds the six panels (1/2/4 circuits × long/short cutoff), each
+// with latency-vs-request-count series per end-to-end fidelity.
+type Fig8Data struct {
+	Points      []Fig8Point
+	PairsPerReq int
+	CapS        float64
+}
+
+// circuitSets returns the paper's three sharing scenarios.
+func circuitSets(n int) [][2]string {
+	switch n {
+	case 1:
+		return [][2]string{{"A0", "B0"}}
+	case 2:
+		return [][2]string{{"A0", "B0"}, {"A1", "B1"}}
+	default:
+		return [][2]string{{"A0", "B0"}, {"A1", "B1"}, {"A0", "B1"}, {"A1", "B0"}}
+	}
+}
+
+// Fig8 reproduces the resource-sharing study of §5.1: 1–8 simultaneous
+// requests across 1, 2 or 4 circuits sharing the MA-MB bottleneck, with the
+// long and the short cutoff, on one-minute memories (T2* = 60 s).
+func Fig8(o Options) *Fig8Data {
+	pairs := 100
+	capT := 600 * sim.Second
+	fids := []float64{0.8, 0.9}
+	loads := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	runs := o.Runs
+	if runs > 3 {
+		runs = 3
+	}
+	if o.Quick {
+		pairs = 15
+		capT = 120 * sim.Second
+		fids = []float64{0.85}
+		loads = []int{1, 4, 8}
+		runs = 1
+	}
+	d := &Fig8Data{PairsPerReq: pairs, CapS: capT.Seconds()}
+	for _, nCirc := range []int{1, 2, 4} {
+		for _, short := range []bool{false, true} {
+			for _, f := range fids {
+				for _, load := range loads {
+					ro := o
+					ro.Runs = runs
+					lat := parallelRuns(ro, func(seed int64) Fig8Point {
+						return fig8Run(seed, nCirc, short, f, load, pairs, capT)
+					})
+					var ls []float64
+					completed := true
+					for _, p := range lat {
+						ls = append(ls, p.LatencyS)
+						completed = completed && p.Completed
+					}
+					d.Points = append(d.Points, Fig8Point{
+						Circuits: nCirc, ShortCut: short, Fidelity: f,
+						Requests: load, LatencyS: mean(ls), Completed: completed,
+					})
+				}
+			}
+		}
+	}
+	return d
+}
+
+func fig8Run(seed int64, nCirc int, short bool, fidelity float64, load, pairs int, capT sim.Duration) Fig8Point {
+	cfg := qnet.DefaultConfig()
+	cfg.Seed = seed
+	net := qnet.Dumbbell(cfg)
+	policy := qnet.CutoffLong
+	if short {
+		policy = qnet.CutoffShort
+	}
+	sets := circuitSets(nCirc)
+	var circs []*qnet.Circuit
+	for i, ep := range sets {
+		vc, err := net.Establish(qnet.CircuitID(fmt.Sprintf("c%d", i)), ep[0], ep[1], fidelity,
+			&qnet.CircuitOptions{Policy: policy})
+		if err != nil {
+			panic(err)
+		}
+		circs = append(circs, vc)
+	}
+	// Completion times of requests carried by the A0-B0 circuit (index 0).
+	start := net.Sim.Now()
+	var doneTimes []sim.Time
+	wantOnC0 := 0
+	for i, vc := range circs {
+		vc.HandleTail(qnet.Handlers{AutoConsume: true})
+		if i == 0 {
+			vc.HandleHead(qnet.Handlers{
+				AutoConsume: true,
+				OnComplete:  func(qnet.RequestID) { doneTimes = append(doneTimes, net.Sim.Now()) },
+			})
+		} else {
+			vc.HandleHead(qnet.Handlers{AutoConsume: true})
+		}
+	}
+	// Round-robin request placement: request k goes to circuit k mod n.
+	for k := 0; k < load; k++ {
+		vc := circs[k%len(circs)]
+		if k%len(circs) == 0 {
+			wantOnC0++
+		}
+		if err := vc.Submit(qnet.Request{
+			ID: qnet.RequestID(fmt.Sprintf("r%d", k)), Type: qnet.Keep, NumPairs: pairs,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	for len(doneTimes) < wantOnC0 && net.Sim.Now() < start.Add(capT) {
+		if !net.Sim.Step() {
+			break
+		}
+	}
+	completed := len(doneTimes) == wantOnC0
+	var ls []float64
+	for _, t := range doneTimes {
+		ls = append(ls, t.Sub(start).Seconds())
+	}
+	// Unfinished requests count at the cap (a conservative floor).
+	for i := len(doneTimes); i < wantOnC0; i++ {
+		ls = append(ls, capT.Seconds())
+	}
+	return Fig8Point{LatencyS: mean(ls), Completed: completed}
+}
+
+// Print writes the six panels.
+func (d *Fig8Data) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Fig. 8 — mean A0-B0 request latency (s), %d-pair requests", d.PairsPerReq))
+	for _, short := range []bool{false, true} {
+		for _, nCirc := range []int{1, 2, 4} {
+			cut := "long cutoff"
+			if short {
+				cut = "short cutoff"
+			}
+			fmt.Fprintf(w, "\npanel: %d circuit(s), %s\n", nCirc, cut)
+			fmt.Fprintf(w, "%10s", "requests")
+			fids := d.fidelities()
+			for _, f := range fids {
+				fmt.Fprintf(w, "  F=%.2f  ", f)
+			}
+			fmt.Fprintln(w)
+			for _, load := range d.loads() {
+				fmt.Fprintf(w, "%10d", load)
+				for _, f := range fids {
+					for _, p := range d.Points {
+						if p.Circuits == nCirc && p.ShortCut == short && p.Fidelity == f && p.Requests == load {
+							mark := " "
+							if !p.Completed {
+								mark = "*" // hit the simulation cap
+							}
+							fmt.Fprintf(w, "  %7.2f%s", p.LatencyS, mark)
+						}
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n(* = capped at %.0f s: quantum congestion collapse)\n", d.CapS)
+}
+
+func (d *Fig8Data) fidelities() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range d.Points {
+		if !seen[p.Fidelity] {
+			seen[p.Fidelity] = true
+			out = append(out, p.Fidelity)
+		}
+	}
+	return out
+}
+
+func (d *Fig8Data) loads() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range d.Points {
+		if !seen[p.Requests] {
+			seen[p.Requests] = true
+			out = append(out, p.Requests)
+		}
+	}
+	return out
+}

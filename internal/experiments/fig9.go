@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qnp/internal/sim"
+	"qnp/qnet"
+)
+
+// Fig9Point is one marker of Fig. 9: mean request latency and circuit
+// throughput at one offered load, in an empty or congested network.
+type Fig9Point struct {
+	Congested     bool
+	IntervalS     float64
+	ThroughputPS  float64 // delivered pairs/second on A0-B0 in the window
+	LatencyS      float64 // mean latency of requests issued in the window
+	LatP5, LatP95 float64
+}
+
+// Fig9Data is the latency-versus-throughput curve of §5.1.
+type Fig9Data struct {
+	Points []Fig9Point
+}
+
+// Fig9 issues 3-pair requests on A0-B0 at an increasing rate (short cutoff,
+// F=0.85) with A1-B1 idle ("empty") or saturated by a long-running request
+// ("congested"), and measures latency after the system reaches equilibrium.
+func Fig9(o Options) *Fig9Data {
+	horizon := 50 * sim.Second
+	measureFrom := 40 * sim.Second
+	intervals := []float64{2, 1, 0.5, 0.3, 0.2, 0.15, 0.1, 0.07, 0.05, 0.035, 0.025}
+	runs := o.Runs
+	if runs > 3 {
+		runs = 3
+	}
+	if o.Quick {
+		horizon = 15 * sim.Second
+		measureFrom = 10 * sim.Second
+		intervals = []float64{1, 0.3, 0.15}
+		runs = 1
+	}
+	d := &Fig9Data{}
+	for _, congested := range []bool{false, true} {
+		for _, iv := range intervals {
+			ro := o
+			ro.Runs = runs
+			pts := parallelRuns(ro, func(seed int64) Fig9Point {
+				return fig9Run(seed, congested, iv, horizon, measureFrom)
+			})
+			var tp, lat, p5, p95 []float64
+			for _, p := range pts {
+				tp = append(tp, p.ThroughputPS)
+				lat = append(lat, p.LatencyS)
+				p5 = append(p5, p.LatP5)
+				p95 = append(p95, p.LatP95)
+			}
+			d.Points = append(d.Points, Fig9Point{
+				Congested: congested, IntervalS: iv,
+				ThroughputPS: mean(tp), LatencyS: mean(lat),
+				LatP5: mean(p5), LatP95: mean(p95),
+			})
+		}
+	}
+	return d
+}
+
+func fig9Run(seed int64, congested bool, intervalS float64, horizon, measureFrom sim.Duration) Fig9Point {
+	cfg := qnet.DefaultConfig()
+	cfg.Seed = seed
+	net := qnet.Dumbbell(cfg)
+	opts := &qnet.CircuitOptions{Policy: qnet.CutoffShort}
+	main, err := net.Establish("main", "A0", "B0", 0.85, opts)
+	if err != nil {
+		panic(err)
+	}
+	other, err := net.Establish("other", "A1", "B1", 0.85, opts)
+	if err != nil {
+		panic(err)
+	}
+	other.HandleHead(qnet.Handlers{AutoConsume: true})
+	other.HandleTail(qnet.Handlers{AutoConsume: true})
+	if congested {
+		if err := other.Submit(qnet.Request{ID: "bg", Type: qnet.Keep, NumPairs: 0}); err != nil {
+			panic(err)
+		}
+	}
+
+	start := net.Sim.Now()
+	from := start.Add(measureFrom)
+	submitted := map[qnet.RequestID]sim.Time{}
+	var latencies []float64
+	delivered := 0
+	main.HandleTail(qnet.Handlers{AutoConsume: true})
+	main.HandleHead(qnet.Handlers{
+		AutoConsume: true,
+		OnPair: func(d qnet.Delivered) {
+			if d.At >= from {
+				delivered++
+			}
+		},
+		OnComplete: func(id qnet.RequestID) {
+			if t0, ok := submitted[id]; ok && t0 >= from {
+				latencies = append(latencies, net.Sim.Now().Sub(t0).Seconds())
+			}
+		},
+	})
+
+	// Issue a 3-pair request every interval.
+	interval := sim.DurationFromSeconds(intervalS)
+	k := 0
+	var issue func()
+	issue = func() {
+		id := qnet.RequestID(fmt.Sprintf("r%d", k))
+		k++
+		submitted[id] = net.Sim.Now()
+		if err := main.Submit(qnet.Request{ID: id, Type: qnet.Keep, NumPairs: 3}); err != nil {
+			panic(err)
+		}
+		if net.Sim.Now().Sub(start) < horizon {
+			net.Sim.Schedule(interval, issue)
+		}
+	}
+	net.Sim.Schedule(0, issue)
+	net.Sim.RunUntil(start.Add(horizon))
+
+	window := horizon - measureFrom
+	return Fig9Point{
+		ThroughputPS: float64(delivered) / window.Seconds(),
+		LatencyS:     mean(latencies),
+		LatP5:        percentile(latencies, 0.05),
+		LatP95:       percentile(latencies, 0.95),
+	}
+}
+
+// Print writes both curves.
+func (d *Fig9Data) Print(w io.Writer) {
+	header(w, "Fig. 9 — A0-B0 latency vs throughput (3-pair requests, short cutoff)")
+	for _, congested := range []bool{false, true} {
+		name := "empty network (A1-B1 idle)"
+		if congested {
+			name = "congested network (A1-B1 saturated)"
+		}
+		fmt.Fprintf(w, "\n%s\n%12s %14s %12s %10s %10s\n", name,
+			"interval(s)", "throughput(/s)", "latency(s)", "p5(s)", "p95(s)")
+		for _, p := range d.Points {
+			if p.Congested == congested {
+				fmt.Fprintf(w, "%12.2f %14.2f %12.3f %10.3f %10.3f\n",
+					p.IntervalS, p.ThroughputPS, p.LatencyS, p.LatP5, p.LatP95)
+			}
+		}
+	}
+}

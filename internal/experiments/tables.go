@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"qnp/internal/hardware"
+)
+
+// WriteTables prints Tables 1 and 2 of the paper as consumed by the
+// simulator — the unit tests in internal/hardware assert these values are
+// wired through to the models.
+func WriteTables(w io.Writer) {
+	s, n := hardware.Simulation(), hardware.NearTerm()
+
+	header(w, "Table 1 — quantum gate parameters")
+	fmt.Fprintf(w, "%-38s %12s %12s %14s %12s\n", "parameter", "sim fid", "sim time", "near-term fid", "nt time")
+	row := func(name string, sf float64, st string, nf float64, nt string) {
+		fmt.Fprintf(w, "%-38s %12.4g %12s %14.4g %12s\n", name, sf, st, nf, nt)
+	}
+	row("Electron single-qubit gate", s.Gates.SingleQubitFidelity, s.Gates.SingleQubitTime.String(),
+		n.Gates.SingleQubitFidelity, n.Gates.SingleQubitTime.String())
+	row("Two-qubit gate (E-C)", s.Gates.TwoQubitFidelity, s.Gates.TwoQubitTime.String(),
+		n.Gates.TwoQubitFidelity, n.Gates.TwoQubitTime.String())
+	row("Carbon Rot-Z gate", math.NaN(), "—", n.Gates.CarbonRotZFidelity, n.Gates.CarbonRotZTime.String())
+	row("Electron initialisation", s.Gates.ElectronInitFidelity, s.Gates.ElectronInitTime.String(),
+		n.Gates.ElectronInitFidelity, n.Gates.ElectronInitTime.String())
+	row("Carbon initialisation", math.NaN(), "—", n.Gates.CarbonInitFidelity, n.Gates.CarbonInitTime.String())
+	row("Electron readout |0>", s.Gates.Readout.F0, s.Gates.ReadoutTime.String(),
+		n.Gates.Readout.F0, n.Gates.ReadoutTime.String())
+	row("Electron readout |1>", s.Gates.Readout.F1, s.Gates.ReadoutTime.String(),
+		n.Gates.Readout.F1, n.Gates.ReadoutTime.String())
+
+	header(w, "Table 2 — other hardware parameters")
+	fmt.Fprintf(w, "%-38s %16s %16s\n", "parameter", "simulation", "near-term")
+	r2 := func(name, sv, nv string) { fmt.Fprintf(w, "%-38s %16s %16s\n", name, sv, nv) }
+	r2("Electron T1", fmt.Sprintf("%.0f s", s.Electron.T1), fmt.Sprintf("%.0f s", n.Electron.T1))
+	r2("Electron T2*", fmt.Sprintf("%.2f s", s.Electron.T2), fmt.Sprintf("%.2f s", n.Electron.T2))
+	r2("Carbon T1", "—", fmt.Sprintf("%.0f s", n.Carbon.T1))
+	r2("Carbon T2*", "—", fmt.Sprintf("%.0f s", n.Carbon.T2))
+	r2("τ_w (detection window)", s.Photon.TauWindow.String(), n.Photon.TauWindow.String())
+	r2("τ_e (emission)", s.Photon.TauEmission.String(), n.Photon.TauEmission.String())
+	r2("Δφ", fmt.Sprintf("%.1f°", s.Photon.DeltaPhi*180/math.Pi), fmt.Sprintf("%.1f°", n.Photon.DeltaPhi*180/math.Pi))
+	r2("p_double_excitation", fmt.Sprintf("%.2f", s.Photon.PDoubleExcitation), fmt.Sprintf("%.2f", n.Photon.PDoubleExcitation))
+	r2("p_zero_phonon", fmt.Sprintf("%.2f", s.Photon.PZeroPhonon), fmt.Sprintf("%.2f", n.Photon.PZeroPhonon))
+	r2("Collection efficiency", fmt.Sprintf("%.4g", s.Photon.CollectionEff), fmt.Sprintf("%.4g", n.Photon.CollectionEff))
+	r2("Dark count rate", fmt.Sprintf("%.0f /s", s.Photon.DarkCountRate), fmt.Sprintf("%.0f /s", n.Photon.DarkCountRate))
+	r2("p_detection", fmt.Sprintf("%.2f", s.Photon.PDetection), fmt.Sprintf("%.2f", n.Photon.PDetection))
+	r2("Visibility", fmt.Sprintf("%.2f", s.Photon.Visibility), fmt.Sprintf("%.2f", n.Photon.Visibility))
+}

@@ -1,0 +1,184 @@
+// Package hardware models the nitrogen-vacancy (NV) centre repeater platform
+// the paper evaluates on: the quantum gate and memory parameters of Tables 1
+// and 2, and the single-click heralded entanglement generation scheme whose
+// bright-state population α is the paper's fidelity-versus-rate knob ("some
+// implementations are able to vary the fidelity of the produced pairs though
+// higher fidelities come at the cost of reduced rates").
+package hardware
+
+import (
+	"math"
+
+	"qnp/internal/quantum"
+	"qnp/internal/sim"
+)
+
+// GateParams are the quantum gate parameters of Table 1.
+type GateParams struct {
+	// SingleQubit is the electron single-qubit gate.
+	SingleQubitFidelity float64
+	SingleQubitTime     sim.Duration
+	// TwoQubit is the electron-carbon controlled gate used for swaps, moves
+	// and distillation.
+	TwoQubitFidelity float64
+	TwoQubitTime     sim.Duration
+	// CarbonRotZ exists only on the near-term platform.
+	CarbonRotZFidelity float64
+	CarbonRotZTime     sim.Duration
+	// Electron/carbon initialisation in |0>.
+	ElectronInitFidelity float64
+	ElectronInitTime     sim.Duration
+	CarbonInitFidelity   float64
+	CarbonInitTime       sim.Duration
+	// Readout is the electron readout model; Readout0/1 fidelities may be
+	// asymmetric (near-term column of Table 1).
+	Readout     quantum.Readout
+	ReadoutTime sim.Duration
+}
+
+// Lifetimes are T1/T2* memory coherence times in seconds (Table 2). A zero
+// value means "effectively infinite" (no decay of that kind).
+type Lifetimes struct {
+	T1, T2 float64
+}
+
+// PhotonParams are the photonic interface parameters of Table 2.
+type PhotonParams struct {
+	// TauWindow (τ_w) is the detection window.
+	TauWindow sim.Duration
+	// TauEmission (τ_e) is the photon emission time.
+	TauEmission sim.Duration
+	// DeltaPhi is the optical phase uncertainty in radians (Table 2 lists
+	// degrees).
+	DeltaPhi float64
+	// PDoubleExcitation is the probability of emitting two photons.
+	PDoubleExcitation float64
+	// PZeroPhonon is the zero-phonon-line fraction of useful photons.
+	PZeroPhonon float64
+	// CollectionEff is the photon collection efficiency into the fibre.
+	CollectionEff float64
+	// DarkCountRate is the detector dark-count rate in counts/second.
+	DarkCountRate float64
+	// PDetection is the detector efficiency.
+	PDetection float64
+	// Visibility is the two-photon indistinguishability.
+	Visibility float64
+}
+
+// Params bundles the per-node hardware model: one of the two columns of
+// Tables 1 and 2.
+type Params struct {
+	Name     string
+	Gates    GateParams
+	Electron Lifetimes
+	Carbon   Lifetimes
+	Photon   PhotonParams
+	// HasCarbon reports whether the platform exposes carbon storage qubits.
+	// The main evaluation treats all qubits as communication (electron)
+	// qubits; the near-term platform has one electron plus carbon storage.
+	HasCarbon bool
+	// AttemptDephasingProb is the phase-flip probability applied to stored
+	// carbon qubits per entanglement generation attempt — the nuclear-spin
+	// dephasing of Kalb et al. that the paper's §5.3 must cope with. Zero on
+	// the idealised platform. The raw per-attempt kick is
+	// (1−exp(−(Δω·τ_d)²/2))/2 ≈ 4.7e-3; the stored value divides by a
+	// decoherence-protection factor (decoupled storage) so that the 1/e
+	// storage budget is ≈2×10⁴ attempts, in line with protected nuclear
+	// memories. See DESIGN.md §2.
+	AttemptDephasingProb float64
+}
+
+// SwapConfig extracts the noise configuration for entanglement swaps and
+// other Bell-measurement circuits on this hardware.
+func (p Params) SwapConfig() quantum.SwapConfig {
+	return quantum.SwapConfig{
+		TwoQubitFidelity:    p.Gates.TwoQubitFidelity,
+		SingleQubitFidelity: p.Gates.SingleQubitFidelity,
+		Readout:             p.Gates.Readout,
+	}
+}
+
+// SwapDuration is the wall-clock (simulated) time of an entanglement swap:
+// the two-qubit gate, the basis-change single-qubit gate, and two readouts.
+func (p Params) SwapDuration() sim.Duration {
+	return p.Gates.TwoQubitTime + p.Gates.SingleQubitTime + 2*p.Gates.ReadoutTime
+}
+
+// MoveDuration is the time to move a communication-qubit state into carbon
+// storage (two-qubit gate plus carbon initialisation).
+func (p Params) MoveDuration() sim.Duration {
+	return p.Gates.CarbonInitTime + p.Gates.TwoQubitTime
+}
+
+// Simulation returns the left ("Simulation") column of Tables 1 and 2: the
+// optimistic configuration used for §5.1 and §5.2 — parameters beyond current
+// hardware chosen to produce higher fidelities while retaining comparable
+// rates.
+func Simulation() Params {
+	return Params{
+		Name: "simulation",
+		Gates: GateParams{
+			SingleQubitFidelity:  1.0,
+			SingleQubitTime:      5 * sim.Nanosecond,
+			TwoQubitFidelity:     0.998,
+			TwoQubitTime:         500 * sim.Microsecond,
+			ElectronInitFidelity: 0.99,
+			ElectronInitTime:     2 * sim.Microsecond,
+			Readout:              quantum.Readout{F0: 0.998, F1: 0.998},
+			ReadoutTime:          sim.Duration(3700),
+		},
+		Electron: Lifetimes{T1: 3600, T2: 60},
+		Photon: PhotonParams{
+			TauWindow:         25 * sim.Nanosecond,
+			TauEmission:       6 * sim.Nanosecond,
+			DeltaPhi:          2.0 * math.Pi / 180,
+			PDoubleExcitation: 0.0,
+			PZeroPhonon:       0.75,
+			CollectionEff:     20.0e-3,
+			DarkCountRate:     20,
+			PDetection:        0.8,
+			Visibility:        1.0,
+		},
+	}
+}
+
+// NearTerm returns the right ("Near-term") column of Tables 1 and 2: the
+// currently-achievable parameters used for the §5.3 near-future hardware
+// evaluation (Fig. 11).
+func NearTerm() Params {
+	return Params{
+		Name: "near-term",
+		Gates: GateParams{
+			SingleQubitFidelity:  1.0,
+			SingleQubitTime:      5 * sim.Nanosecond,
+			TwoQubitFidelity:     0.992,
+			TwoQubitTime:         500 * sim.Microsecond,
+			CarbonRotZFidelity:   1.0,
+			CarbonRotZTime:       20 * sim.Microsecond,
+			ElectronInitFidelity: 0.99,
+			ElectronInitTime:     2 * sim.Microsecond,
+			CarbonInitFidelity:   0.95,
+			CarbonInitTime:       300 * sim.Microsecond,
+			Readout:              quantum.Readout{F0: 0.95, F1: 0.995},
+			ReadoutTime:          sim.Duration(3700),
+		},
+		Electron: Lifetimes{T1: 3600, T2: 1.46},
+		Carbon:   Lifetimes{T1: 6 * 60, T2: 60},
+		Photon: PhotonParams{
+			TauWindow:         25 * sim.Nanosecond,
+			TauEmission:       6 * sim.Nanosecond, // 6.48 ns rounded to ns resolution
+			DeltaPhi:          10.6 * math.Pi / 180,
+			PDoubleExcitation: 0.04,
+			PZeroPhonon:       0.46,
+			CollectionEff:     4.38e-3,
+			DarkCountRate:     20,
+			PDetection:        0.8,
+			Visibility:        0.9,
+		},
+		HasCarbon: true,
+		// Raw kick (1−exp(−(Δω·τ_d)²/2))/2 ≈ 4.7e-3 with Δω = 2π·377 kHz and
+		// τ_d = 82 ns, divided by a protection factor of ≈190, for a 1/e
+		// storage budget of ≈2×10⁴ attempts.
+		AttemptDephasingProb: 2.5e-5,
+	}
+}

@@ -1,0 +1,408 @@
+// Package linalg provides dense complex-matrix operations sized for quantum
+// state manipulation: density matrices of one to four qubits (2×2 up to
+// 16×16), gates, Kraus operators, tensor products and partial traces.
+//
+// The package is deliberately small and allocation-conscious rather than a
+// general numerics library: the quantum engine composes thousands of small
+// matrix products per simulated entanglement swap, and everything stays in
+// plain []complex128 with row-major layout.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 {
+		panic("linalg: FromRows with no rows")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// ColumnVector builds an n×1 matrix from the given amplitudes.
+func ColumnVector(v ...complex128) *Matrix {
+	m := New(len(v), 1)
+	copy(m.Data, v)
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// IsSquare reports whether the matrix is square.
+func (m *Matrix) IsSquare() bool { return m.Rows == m.Cols }
+
+// Mul returns a·b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulChain multiplies matrices left to right: MulChain(a,b,c) = a·b·c.
+func MulChain(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("linalg: MulChain of nothing")
+	}
+	out := ms[0]
+	for _, m := range ms[1:] {
+		out = Mul(out, m)
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b.
+func Sub(a, b *Matrix) *Matrix {
+	mustSameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	mustSameShape("AddInPlace", m, b)
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+}
+
+// Scale returns s·m.
+func Scale(s complex128, m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s complex128) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Adjoint returns the conjugate transpose m†.
+func Adjoint(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = cmplx.Conj(m.Data[i*m.Cols+j])
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ without conjugation.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Kron returns the tensor (Kronecker) product a⊗b.
+func Kron(a, b *Matrix) *Matrix {
+	out := New(a.Rows*b.Rows, a.Cols*b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			av := a.Data[i*a.Cols+j]
+			if av == 0 {
+				continue
+			}
+			for k := 0; k < b.Rows; k++ {
+				base := (i*b.Rows+k)*out.Cols + j*b.Cols
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for l, bv := range brow {
+					out.Data[base+l] = av * bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KronChain folds Kron left to right: KronChain(a,b,c) = a⊗b⊗c.
+func KronChain(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("linalg: KronChain of nothing")
+	}
+	out := ms[0]
+	for _, m := range ms[1:] {
+		out = Kron(out, m)
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func Trace(m *Matrix) complex128 {
+	mustSquare("Trace", m)
+	var t complex128
+	for i := 0; i < m.Rows; i++ {
+		t += m.Data[i*m.Cols+i]
+	}
+	return t
+}
+
+// PartialTrace traces out the subsystems whose indices appear in keep=false
+// positions. dims gives the dimension of each subsystem in tensor order;
+// keep[i] reports whether subsystem i survives. The input must be square with
+// size equal to the product of dims.
+func PartialTrace(m *Matrix, dims []int, keep []bool) *Matrix {
+	mustSquare("PartialTrace", m)
+	if len(dims) != len(keep) {
+		panic("linalg: dims/keep length mismatch")
+	}
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	if total != m.Rows {
+		panic(fmt.Sprintf("linalg: dims product %d != matrix size %d", total, m.Rows))
+	}
+	keptDim := 1
+	for i, k := range keep {
+		if k {
+			keptDim *= dims[i]
+		}
+	}
+	out := New(keptDim, keptDim)
+
+	n := len(dims)
+	// Iterate over all (row, col) pairs of the input; fold into the output
+	// when the traced-out indices coincide.
+	var rec func(pos, rowKept, colKept, rowFull, colFull int)
+	rec = func(pos, rowKept, colKept, rowFull, colFull int) {
+		if pos == n {
+			out.Data[rowKept*keptDim+colKept] += m.Data[rowFull*m.Cols+colFull]
+			return
+		}
+		d := dims[pos]
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				if keep[pos] {
+					rec(pos+1, rowKept*d+a, colKept*d+b, rowFull*d+a, colFull*d+b)
+				} else if a == b {
+					rec(pos+1, rowKept, colKept, rowFull*d+a, colFull*d+b)
+				}
+			}
+		}
+	}
+	rec(0, 0, 0, 0, 0)
+	return out
+}
+
+// OuterProduct returns |v><w| for column vectors v, w.
+func OuterProduct(v, w *Matrix) *Matrix {
+	if v.Cols != 1 || w.Cols != 1 {
+		panic("linalg: OuterProduct needs column vectors")
+	}
+	out := New(v.Rows, w.Rows)
+	for i := 0; i < v.Rows; i++ {
+		for j := 0; j < w.Rows; j++ {
+			out.Data[i*out.Cols+j] = v.Data[i] * cmplx.Conj(w.Data[j])
+		}
+	}
+	return out
+}
+
+// InnerProduct returns <v|w> for column vectors.
+func InnerProduct(v, w *Matrix) complex128 {
+	if v.Cols != 1 || w.Cols != 1 || v.Rows != w.Rows {
+		panic("linalg: InnerProduct shape mismatch")
+	}
+	var s complex128
+	for i := range v.Data {
+		s += cmplx.Conj(v.Data[i]) * w.Data[i]
+	}
+	return s
+}
+
+// Expectation returns <v|M|v> for a column vector v and square M.
+func Expectation(m, v *Matrix) complex128 {
+	return InnerProduct(v, Mul(m, v))
+}
+
+// ApproxEqual reports element-wise equality within tol.
+func ApproxEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if cmplx.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsHermitian reports whether m = m† within tol.
+func IsHermitian(m *Matrix, tol float64) bool {
+	if !m.IsSquare() {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i; j < m.Cols; j++ {
+			if cmplx.Abs(m.At(i, j)-cmplx.Conj(m.At(j, i))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsUnitary reports whether m·m† = I within tol.
+func IsUnitary(m *Matrix, tol float64) bool {
+	if !m.IsSquare() {
+		return false
+	}
+	return ApproxEqual(Mul(m, Adjoint(m)), Identity(m.Rows), tol)
+}
+
+// MaxAbsDiff returns the largest element-wise |a-b|.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	mustSameShape("MaxAbsDiff", a, b)
+	var max float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Norm1 returns the entry-wise 1-norm (sum of |elements|); a cheap sanity
+// measure used in tests.
+func Norm1(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += cmplx.Abs(v)
+	}
+	return s
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			fmt.Fprintf(&b, "%7.4f%+7.4fi ", real(v), imag(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RealDiagonal returns the real parts of the diagonal.
+func RealDiagonal(m *Matrix) []float64 {
+	mustSquare("RealDiagonal", m)
+	d := make([]float64, m.Rows)
+	for i := range d {
+		d[i] = real(m.At(i, i))
+	}
+	return d
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: %s shape mismatch %d×%d vs %d×%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func mustSquare(op string, m *Matrix) {
+	if !m.IsSquare() {
+		panic(fmt.Sprintf("linalg: %s needs square matrix, got %d×%d", op, m.Rows, m.Cols))
+	}
+}
+
+// Chop zeroes elements with magnitude below eps; useful before printing.
+func Chop(m *Matrix, eps float64) *Matrix {
+	out := m.Clone()
+	for i, v := range out.Data {
+		re, im := real(v), imag(v)
+		if math.Abs(re) < eps {
+			re = 0
+		}
+		if math.Abs(im) < eps {
+			im = 0
+		}
+		out.Data[i] = complex(re, im)
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+// Package linklayer implements the link layer entanglement generation
+// service of Dahlberg et al. (SIGCOMM'19) that the paper's QNP builds on
+// (§3.5): a robust, batched, multiplexed pair-generation service on one
+// physical link.
+//
+// The service contract the QNP needs (§3.5) is honoured exactly:
+//
+//  1. requests are keyed by a link-unique identifier (Label — the paper's
+//     link-label / Purpose ID), delivered with every pair at both ends;
+//  2. every pair carries an identifier unique within the request
+//     (Correlator — the paper's Entanglement ID);
+//  3. every delivery announces which Bell state the pair is in;
+//  4. requests specify a minimum fidelity and a rate.
+//
+// Scheduling follows the paper's evaluation setup: a weighted round-robin
+// (implemented as start-time fair queuing over link time) where each
+// circuit's share of the link's time is proportional to its requested
+// link-pair rate, independent of fidelity — "circuits get an equal share of
+// the link's time regardless of fidelity".
+package linklayer
+
+import (
+	"fmt"
+	"math"
+
+	"qnp/internal/device"
+	"qnp/internal/hardware"
+	"qnp/internal/quantum"
+	"qnp/internal/sim"
+)
+
+// Label identifies a virtual circuit's reservation on one link (the paper's
+// link-label, with the same role as an MPLS label).
+type Label string
+
+// Correlator uniquely identifies a link-pair on its link (the paper's
+// Entanglement ID / link-pair correlator: both ends can map it to the
+// qubits in their local memory).
+type Correlator struct {
+	Link string
+	Seq  uint64
+}
+
+func (c Correlator) String() string { return fmt.Sprintf("%s#%d", c.Link, c.Seq) }
+
+// Delivery is handed to both endpoints when a link-pair is ready.
+type Delivery struct {
+	Label Label
+	Corr  Correlator
+	Pair  *device.Pair
+	// Idx is the heralded Bell state (requirement 3 of §3.5).
+	Idx quantum.BellIndex
+	// ModelFidelity is the expected fidelity of the produced state at
+	// generation time (before decoherence), from the hardware model.
+	ModelFidelity float64
+}
+
+// Consumer receives pair deliveries at one endpoint.
+type Consumer func(Delivery)
+
+type request struct {
+	label       Label
+	minFidelity float64
+	weight      float64 // requested link-pair rate (pairs/s), the WRR weight
+	alpha       float64
+	prob        float64
+	registered  [2]bool
+	consumers   [2]Consumer
+	// used is the virtual link time consumed, for fair queuing.
+	used sim.Duration
+}
+
+func (r *request) active() bool { return r.registered[0] && r.registered[1] }
+
+type round struct {
+	req    *request
+	qubits [2]*device.Qubit
+	event  *sim.Event
+	start  sim.Time
+	k      int
+}
+
+// Stats aggregates per-engine counters.
+type Stats struct {
+	PairsDelivered uint64
+	Attempts       uint64
+	RoundsAborted  uint64
+}
+
+// Engine drives entanglement generation on one physical link. It is the
+// shared physical substrate (emitters, midpoint heralding station) plus the
+// link layer protocol instances at both endpoints.
+type Engine struct {
+	sim     *sim.Simulation
+	name    string
+	cfg     hardware.LinkConfig
+	devs    [2]*device.Device
+	reqs    map[Label]*request
+	order   []*request // deterministic scheduling order
+	current *round
+	seq     uint64
+	stats   Stats
+	// exclusive serialises generation with local quantum operations — set on
+	// single-communication-qubit platforms (near-term §5.3), where the
+	// electron cannot generate while a gate runs.
+	exclusive bool
+	// retry wakes the dispatcher when an exclusivity wait expires.
+	retry *sim.Event
+}
+
+// NewEngine creates the generation engine for the link between a and b.
+// Both devices are assumed to have the same hardware parameter set, as in
+// the paper's evaluation ("assumes all links and nodes are identical").
+func NewEngine(s *sim.Simulation, name string, cfg hardware.LinkConfig, a, b *device.Device) *Engine {
+	e := &Engine{
+		sim:       s,
+		name:      name,
+		cfg:       cfg,
+		devs:      [2]*device.Device{a, b},
+		reqs:      make(map[Label]*request),
+		exclusive: a.Params().HasCarbon,
+	}
+	a.OnFree(e.dispatch)
+	b.OnFree(e.dispatch)
+	return e
+}
+
+// Name returns the link name used in correlators.
+func (e *Engine) Name() string { return e.name }
+
+// Config returns the physical link configuration.
+func (e *Engine) Config() hardware.LinkConfig { return e.cfg }
+
+// Stats returns generation counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// side maps a node ID to this engine's endpoint index.
+func (e *Engine) side(node string) int {
+	for i, d := range e.devs {
+		if d.ID() == node {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("linklayer: node %q not on link %q", node, e.name))
+}
+
+// ExpectedPairTime reports the mean generation time for a fidelity on this
+// link (exposed for routing).
+func (e *Engine) ExpectedPairTime(f float64) (sim.Duration, bool) {
+	return e.cfg.ExpectedPairTime(e.devs[0].Params(), f)
+}
+
+// Register activates (one side of) a continuous generation request. Pairs
+// flow once both endpoints have registered the same label — the engine is
+// the physical medium, and a link-pair needs participation from both nodes.
+// Register returns an error if the link cannot reach the requested fidelity.
+func (e *Engine) Register(node string, label Label, minFidelity, rate float64, c Consumer) error {
+	s := e.side(node)
+	r, ok := e.reqs[label]
+	if !ok {
+		alpha, achievable := e.cfg.AlphaForFidelity(e.devs[0].Params(), minFidelity)
+		if !achievable {
+			return fmt.Errorf("linklayer %s: fidelity %.4f unreachable", e.name, minFidelity)
+		}
+		r = &request{
+			label:       label,
+			minFidelity: minFidelity,
+			weight:      rate,
+			alpha:       alpha,
+			prob:        e.cfg.SuccessProb(e.devs[0].Params(), alpha),
+			used:        e.minVirtualUsed(rate),
+		}
+		e.reqs[label] = r
+		e.order = append(e.order, r)
+	}
+	if r.minFidelity != minFidelity {
+		return fmt.Errorf("linklayer %s: label %q registered with conflicting fidelity", e.name, label)
+	}
+	r.registered[s] = true
+	r.consumers[s] = c
+	e.dispatch()
+	return nil
+}
+
+// minVirtualUsed gives a joining request the virtual time of the
+// least-served active request so it cannot monopolise the link to "catch
+// up" on time it never waited for.
+func (e *Engine) minVirtualUsed(rate float64) sim.Duration {
+	minV := math.Inf(1)
+	for _, r := range e.order {
+		if !r.active() || r.weight <= 0 {
+			continue
+		}
+		if v := float64(r.used) / r.weight; v < minV {
+			minV = v
+		}
+	}
+	if math.IsInf(minV, 1) || rate <= 0 {
+		return 0
+	}
+	return sim.Duration(minV * rate)
+}
+
+// UpdateRate changes a request's link-pair rate (weight).
+func (e *Engine) UpdateRate(label Label, rate float64) {
+	if r, ok := e.reqs[label]; ok {
+		if r.weight > 0 && rate > 0 {
+			// Preserve the virtual-time position under the new weight.
+			r.used = sim.Duration(float64(r.used) / r.weight * rate)
+		}
+		r.weight = rate
+	}
+}
+
+// Deactivate stops one side's participation. When the in-flight round
+// belongs to a request that lost an endpoint, the round is aborted and its
+// qubits are freed. Once both sides have deactivated, the request is
+// removed.
+func (e *Engine) Deactivate(node string, label Label) {
+	r, ok := e.reqs[label]
+	if !ok {
+		return
+	}
+	s := e.side(node)
+	r.registered[s] = false
+	r.consumers[s] = nil
+	if e.current != nil && e.current.req == r {
+		e.abortCurrent()
+	}
+	if !r.registered[0] && !r.registered[1] {
+		delete(e.reqs, label)
+		for i, rr := range e.order {
+			if rr == r {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+	}
+	e.dispatch()
+}
+
+func (e *Engine) abortCurrent() {
+	cur := e.current
+	e.current = nil
+	e.sim.Cancel(cur.event)
+	// Attempts made before the abort still dephase stored qubits.
+	elapsed := e.sim.Now().Sub(cur.start)
+	k := int(elapsed / e.cfg.CycleTime(e.devs[0].Params()))
+	if k > 0 {
+		for _, d := range e.devs {
+			d.ApplyAttemptDephasing(k)
+		}
+	}
+	for i, q := range cur.qubits {
+		e.devs[i].Free(q)
+	}
+	e.stats.RoundsAborted++
+}
+
+// dispatch starts a generation round if the engine is idle and some active
+// request has memory available at both endpoints. Start-time fair queuing:
+// among runnable requests, pick the one with the smallest weight-normalised
+// virtual time used.
+func (e *Engine) dispatch() {
+	if e.current != nil {
+		return
+	}
+	if e.retry != nil {
+		e.sim.Cancel(e.retry)
+		e.retry = nil
+	}
+	if e.exclusive {
+		// The electron is also the gate qubit: wait out local operations.
+		var until sim.Time
+		for _, d := range e.devs {
+			if bu := d.BusyUntil(); bu > until {
+				until = bu
+			}
+		}
+		if until > e.sim.Now() {
+			e.retry = e.sim.ScheduleAt(until, e.dispatch)
+			return
+		}
+	}
+	if e.devs[0].FreeCommCount(e.name) == 0 || e.devs[1].FreeCommCount(e.name) == 0 {
+		// Memory pressure: no request can run until a qubit frees. This is
+		// the Fig. 8c regime — pairs parked in memory block the link.
+		return
+	}
+	var best *request
+	var bestV float64
+	for _, r := range e.order {
+		if !r.active() || r.weight <= 0 {
+			continue
+		}
+		v := float64(r.used) / r.weight
+		if best == nil || v < bestV {
+			best, bestV = r, v
+		}
+	}
+	if best == nil {
+		return
+	}
+	q0, ok0 := e.devs[0].AllocComm(e.name)
+	if !ok0 {
+		return
+	}
+	q1, ok1 := e.devs[1].AllocComm(e.name)
+	if !ok1 {
+		e.devs[0].Free(q0)
+		return
+	}
+	k := hardware.SampleAttempts(best.prob, e.sim.Rand())
+	dur := e.cfg.CycleTime(e.devs[0].Params()).Scale(float64(k))
+	cur := &round{req: best, qubits: [2]*device.Qubit{q0, q1}, start: e.sim.Now(), k: k}
+	cur.event = e.sim.Schedule(dur, func() { e.complete(cur) })
+	e.current = cur
+}
+
+// complete finishes a successful generation round: it charges the request's
+// virtual time, applies per-attempt nuclear dephasing to stored qubits at
+// both nodes, materialises the pair state, and delivers to both endpoints.
+func (e *Engine) complete(cur *round) {
+	e.current = nil
+	r := cur.req
+	r.used += e.sim.Now().Sub(cur.start)
+	e.stats.Attempts += uint64(cur.k)
+	e.stats.PairsDelivered++
+	for _, d := range e.devs {
+		d.ApplyAttemptDephasing(cur.k)
+	}
+	rho, idx := e.cfg.Generate(e.devs[0].Params(), r.alpha, e.sim.Rand())
+	pair := device.NewPair(e.sim.Now(), rho, idx, cur.qubits[0], cur.qubits[1])
+	corr := Correlator{Link: e.name, Seq: e.seq}
+	e.seq++
+	d := Delivery{
+		Label:         r.label,
+		Corr:          corr,
+		Pair:          pair,
+		Idx:           idx,
+		ModelFidelity: e.cfg.Model(e.devs[0].Params(), r.alpha).Fidelity(),
+	}
+	// Deliver to both ends; consumers may free qubits or trigger swaps,
+	// which re-enters dispatch via OnFree — that's fine, we're idle now.
+	for s := 0; s < 2; s++ {
+		if c := r.consumers[s]; c != nil {
+			c(d)
+		}
+	}
+	e.dispatch()
+}
+
+// Fabric is the registry of link engines, keyed by canonical link name.
+type Fabric struct {
+	engines map[string]*Engine
+}
+
+// NewFabric returns an empty link registry.
+func NewFabric() *Fabric { return &Fabric{engines: make(map[string]*Engine)} }
+
+// LinkName returns the canonical name for the link between two nodes.
+func LinkName(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Add registers an engine.
+func (f *Fabric) Add(e *Engine) {
+	if _, ok := f.engines[e.name]; ok {
+		panic(fmt.Sprintf("linklayer: duplicate engine %q", e.name))
+	}
+	f.engines[e.name] = e
+}
+
+// Between returns the engine for the a-b link.
+func (f *Fabric) Between(a, b string) *Engine {
+	e, ok := f.engines[LinkName(a, b)]
+	if !ok {
+		panic(fmt.Sprintf("linklayer: no engine for %s-%s", a, b))
+	}
+	return e
+}
+
+// All returns every engine (iteration order unspecified).
+func (f *Fabric) All() map[string]*Engine { return f.engines }

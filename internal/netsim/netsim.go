@@ -1,0 +1,171 @@
+// Package netsim provides the classical message plane of the simulated
+// quantum network: nodes joined by bidirectional channels that deliver
+// messages reliably and in order after a propagation delay.
+//
+// The paper's QNP "requires that all its control messages are transmitted
+// reliably and in order ... we may simply rely on a transport protocol to
+// provide these guarantees (e.g. TCP or QUIC)". This package is that
+// abstraction: no loss, no reordering, plus a configurable processing delay
+// so the Fig. 10c experiment can sweep "the time between the sending of any
+// QNP message to the moment that message is processed at the next node".
+package netsim
+
+import (
+	"fmt"
+
+	"qnp/internal/sim"
+)
+
+// NodeID names a node. IDs are unique within a Network.
+type NodeID string
+
+// Message is any protocol payload. Handlers type-switch on the concrete
+// type, the same way a demultiplexing transport hands frames to protocols.
+type Message any
+
+// Handler consumes messages delivered to a node.
+type Handler func(from NodeID, msg Message)
+
+type channel struct {
+	delay sim.Duration
+}
+
+type linkKey struct{ a, b NodeID }
+
+func keyFor(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Stats counts classical-plane activity.
+type Stats struct {
+	MessagesSent uint64
+}
+
+// Network is the classical plane. All methods must be called from the
+// simulation goroutine (the simulator is single-threaded by design).
+type Network struct {
+	sim      *sim.Simulation
+	channels map[linkKey]*channel
+	handlers map[NodeID][]Handler
+	// processing is the extra per-hop delay added to every delivery — the
+	// Fig. 10c knob.
+	processing sim.Duration
+	stats      Stats
+}
+
+// New creates an empty classical network on the given simulation.
+func New(s *sim.Simulation) *Network {
+	return &Network{
+		sim:      s,
+		channels: make(map[linkKey]*channel),
+		handlers: make(map[NodeID][]Handler),
+	}
+}
+
+// AddNode registers a node. Adding the same node twice panics — topology is
+// static configuration, and a duplicate always means a miswired experiment.
+func (n *Network) AddNode(id NodeID) {
+	if _, ok := n.handlers[id]; ok {
+		panic(fmt.Sprintf("netsim: duplicate node %q", id))
+	}
+	n.handlers[id] = nil
+}
+
+// HasNode reports whether id is registered.
+func (n *Network) HasNode(id NodeID) bool {
+	_, ok := n.handlers[id]
+	return ok
+}
+
+// Connect joins two registered nodes with a bidirectional channel of the
+// given one-way propagation delay.
+func (n *Network) Connect(a, b NodeID, delay sim.Duration) {
+	if !n.HasNode(a) || !n.HasNode(b) {
+		panic(fmt.Sprintf("netsim: Connect %q-%q with unregistered node", a, b))
+	}
+	if a == b {
+		panic("netsim: self-loop")
+	}
+	k := keyFor(a, b)
+	if _, ok := n.channels[k]; ok {
+		panic(fmt.Sprintf("netsim: duplicate channel %q-%q", a, b))
+	}
+	n.channels[k] = &channel{delay: delay}
+}
+
+// Connected reports whether a and b share a channel.
+func (n *Network) Connected(a, b NodeID) bool {
+	_, ok := n.channels[keyFor(a, b)]
+	return ok
+}
+
+// Delay returns the one-way propagation delay of the a-b channel.
+func (n *Network) Delay(a, b NodeID) sim.Duration {
+	c, ok := n.channels[keyFor(a, b)]
+	if !ok {
+		panic(fmt.Sprintf("netsim: no channel %q-%q", a, b))
+	}
+	return c.delay
+}
+
+// SetProcessingDelay sets the extra per-hop delay applied to every message
+// from now on (it does not affect messages already in flight).
+func (n *Network) SetProcessingDelay(d sim.Duration) { n.processing = d }
+
+// ProcessingDelay returns the current per-hop processing delay.
+func (n *Network) ProcessingDelay() sim.Duration { return n.processing }
+
+// Handle registers a message handler at a node. Multiple handlers receive
+// every message in registration order; protocols filter by message type.
+func (n *Network) Handle(id NodeID, h Handler) {
+	if !n.HasNode(id) {
+		panic(fmt.Sprintf("netsim: Handle on unregistered node %q", id))
+	}
+	n.handlers[id] = append(n.handlers[id], h)
+}
+
+// Send transmits msg from one node to an adjacent node. Delivery happens
+// after the channel's propagation delay plus the processing delay; messages
+// between the same pair of nodes are never reordered (the event queue is
+// FIFO at equal timestamps and delays are constant per channel).
+func (n *Network) Send(from, to NodeID, msg Message) {
+	c, ok := n.channels[keyFor(from, to)]
+	if !ok {
+		panic(fmt.Sprintf("netsim: Send %q→%q without channel", from, to))
+	}
+	n.stats.MessagesSent++
+	n.sim.Schedule(c.delay+n.processing, func() {
+		for _, h := range n.handlers[to] {
+			h(from, msg)
+		}
+	})
+}
+
+// Stats returns counters accumulated so far.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Neighbors returns the nodes adjacent to id, in no particular order.
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for k := range n.channels {
+		switch id {
+		case k.a:
+			out = append(out, k.b)
+		case k.b:
+			out = append(out, k.a)
+		}
+	}
+	return out
+}
+
+// PathDelay sums the propagation delays along a node path.
+func (n *Network) PathDelay(path []NodeID) sim.Duration {
+	var d sim.Duration
+	for i := 0; i+1 < len(path); i++ {
+		d += n.Delay(path[i], path[i+1])
+	}
+	return d
+}

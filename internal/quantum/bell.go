@@ -1,0 +1,145 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+
+	"qnp/internal/linalg"
+)
+
+// BellIndex identifies one of the four Bell states by two bits: bit 0 is the
+// bit-flip (X) component, bit 1 the phase-flip (Z) component, relative to
+// |Φ+>. This is the two-bit value the paper's swap records carry and its
+// TRACK messages accumulate ("the two-bit output of the entanglement swap").
+//
+//	Index 0 (x=0,z=0): |Φ+> = (|00>+|11>)/√2
+//	Index 1 (x=1,z=0): |Ψ+> = (|01>+|10>)/√2
+//	Index 2 (x=0,z=1): |Φ−> = (|00>−|11>)/√2
+//	Index 3 (x=1,z=1): |Ψ−> = (|01>−|10>)/√2
+type BellIndex uint8
+
+// The four Bell states.
+const (
+	PhiPlus  BellIndex = 0
+	PsiPlus  BellIndex = 1
+	PhiMinus BellIndex = 2
+	PsiMinus BellIndex = 3
+)
+
+// XBit returns the bit-flip component.
+func (b BellIndex) XBit() uint8 { return uint8(b) & 1 }
+
+// ZBit returns the phase-flip component.
+func (b BellIndex) ZBit() uint8 { return (uint8(b) >> 1) & 1 }
+
+// Combine returns the Bell index of the pair produced by an entanglement
+// swap: the two input pairs' indices and the Bell-measurement outcome XOR
+// component-wise. This is the "combine_state" function of Appendix C; its
+// correctness against the exact post-measurement state is pinned by tests.
+func Combine(a, b, outcome BellIndex) BellIndex { return a ^ b ^ outcome }
+
+func (b BellIndex) String() string {
+	switch b {
+	case PhiPlus:
+		return "Φ+"
+	case PsiPlus:
+		return "Ψ+"
+	case PhiMinus:
+		return "Φ−"
+	case PsiMinus:
+		return "Ψ−"
+	}
+	return fmt.Sprintf("BellIndex(%d)", uint8(b))
+}
+
+// Valid reports whether b is one of the four Bell states.
+func (b BellIndex) Valid() bool { return b < 4 }
+
+// BellVector returns the state vector |B_b> as a 4×1 column.
+func BellVector(b BellIndex) *linalg.Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	switch b {
+	case PhiPlus:
+		return linalg.ColumnVector(s, 0, 0, s)
+	case PsiPlus:
+		return linalg.ColumnVector(0, s, s, 0)
+	case PhiMinus:
+		return linalg.ColumnVector(s, 0, 0, -s)
+	case PsiMinus:
+		return linalg.ColumnVector(0, s, -s, 0)
+	}
+	panic("quantum: invalid BellIndex")
+}
+
+// BellProjector returns |B_b><B_b|.
+func BellProjector(b BellIndex) *linalg.Matrix {
+	v := BellVector(b)
+	return linalg.OuterProduct(v, v)
+}
+
+// BellState returns the density matrix of the pure Bell state b.
+func BellState(b BellIndex) *linalg.Matrix { return BellProjector(b) }
+
+// Fidelity returns <B_b|ρ|B_b>, the fidelity of a two-qubit state with the
+// pure Bell state b. This is the paper's fidelity metric: 1 means the pair is
+// exactly in the desired state, below 0.5 means it is no longer usable.
+func Fidelity(rho *linalg.Matrix, b BellIndex) float64 {
+	if rho.Rows != 4 || rho.Cols != 4 {
+		panic("quantum: Fidelity needs a 4×4 density matrix")
+	}
+	return real(linalg.Expectation(rho, BellVector(b)))
+}
+
+// BellDiagonal returns the four Bell-basis diagonal elements of ρ, indexed by
+// BellIndex. For states produced by this package they sum to ≈Tr(ρ).
+func BellDiagonal(rho *linalg.Matrix) [4]float64 {
+	var d [4]float64
+	for i := BellIndex(0); i < 4; i++ {
+		d[i] = Fidelity(rho, i)
+	}
+	return d
+}
+
+// DominantBell returns the Bell index with the largest overlap with ρ.
+func DominantBell(rho *linalg.Matrix) BellIndex {
+	d := BellDiagonal(rho)
+	best := BellIndex(0)
+	for i := BellIndex(1); i < 4; i++ {
+		if d[i] > d[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// PauliFor returns the single-qubit Pauli correction that maps Bell state
+// `from` to Bell state `to` when applied to one qubit of the pair:
+// X^(Δx)·Z^(Δz). Applying the returned operator to the *left* qubit performs
+// the paper's final-state Pauli correction at the head-end node.
+func PauliFor(from, to BellIndex) *linalg.Matrix {
+	d := from ^ to
+	op := linalg.Identity(2)
+	if d.ZBit() == 1 {
+		op = linalg.Mul(Z, op)
+	}
+	if d.XBit() == 1 {
+		op = linalg.Mul(X, op)
+	}
+	return op
+}
+
+// WernerState returns the Werner state with fidelity f to |Φ+>:
+// W(f) = f|Φ+><Φ+| + (1-f)/3 · (I − |Φ+><Φ+|).
+func WernerState(f float64) *linalg.Matrix {
+	p := BellProjector(PhiPlus)
+	rest := linalg.Sub(linalg.Identity(4), p)
+	return linalg.Add(linalg.Scale(complex(f, 0), p), linalg.Scale(complex((1-f)/3, 0), rest))
+}
+
+// WernerFor returns a Werner-like state twirled around an arbitrary Bell
+// state b with fidelity f.
+func WernerFor(f float64, b BellIndex) *linalg.Matrix {
+	p := BellProjector(b)
+	rest := linalg.Sub(linalg.Identity(4), p)
+	return linalg.Add(linalg.Scale(complex(f, 0), p), linalg.Scale(complex((1-f)/3, 0), rest))
+}

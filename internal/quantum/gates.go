@@ -1,0 +1,152 @@
+// Package quantum implements the quantum-state machinery the paper's
+// evaluation relies on NetSquid for: two-qubit entangled-pair states as exact
+// density matrices, noisy gates and measurements as Kraus channels, Bell-state
+// algebra for entanglement tracking, entanglement swapping composed on the
+// joint four-qubit state, teleportation and BBPSSW distillation.
+//
+// Pairs are the unit of state. A pair's density matrix is 4×4 in the basis
+// |00>,|01>,|10>,|11> with the *left* qubit first. Entanglement swaps build
+// the 16×16 joint state of two pairs, apply the noisy Bell-state measurement
+// at the middle node, and return the exact post-measurement remote pair.
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+
+	"qnp/internal/linalg"
+)
+
+// Standard single-qubit gates.
+var (
+	// I2 is the single-qubit identity.
+	I2 = linalg.Identity(2)
+	// X, Y, Z are the Pauli matrices.
+	X = linalg.FromRows([][]complex128{{0, 1}, {1, 0}})
+	Y = linalg.FromRows([][]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}})
+	Z = linalg.FromRows([][]complex128{{1, 0}, {0, -1}})
+	// H is the Hadamard gate.
+	H = linalg.FromRows([][]complex128{
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+	})
+	// S is the phase gate diag(1, i).
+	S = linalg.FromRows([][]complex128{{1, 0}, {0, complex(0, 1)}})
+	// SDagger is diag(1, -i).
+	SDagger = linalg.FromRows([][]complex128{{1, 0}, {0, complex(0, -1)}})
+	// T is the π/8 gate.
+	T = linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}})
+)
+
+// Two-qubit gates in the basis |00>,|01>,|10>,|11> (first qubit = control
+// where applicable).
+var (
+	// CNOT flips the second qubit when the first is |1>.
+	CNOT = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	})
+	// CZ applies a phase of -1 to |11>.
+	CZ = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, -1},
+	})
+	// SWAP exchanges the two qubits.
+	SWAP = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+	})
+)
+
+// Rx returns the rotation exp(-iθX/2).
+func Rx(theta float64) *linalg.Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return linalg.FromRows([][]complex128{{c, s}, {s, c}})
+}
+
+// Ry returns the rotation exp(-iθY/2).
+func Ry(theta float64) *linalg.Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return linalg.FromRows([][]complex128{{c, -s}, {s, c}})
+}
+
+// Rz returns the rotation exp(-iθZ/2).
+func Rz(theta float64) *linalg.Matrix {
+	return linalg.FromRows([][]complex128{
+		{cmplx.Exp(complex(0, -theta/2)), 0},
+		{0, cmplx.Exp(complex(0, theta/2))},
+	})
+}
+
+// Pauli returns the Pauli operator for index 0..3 = I,X,Y,Z.
+func Pauli(i int) *linalg.Matrix {
+	switch i {
+	case 0:
+		return I2
+	case 1:
+		return X
+	case 2:
+		return Y
+	case 3:
+		return Z
+	}
+	panic("quantum: Pauli index out of range")
+}
+
+// Lift1 embeds a single-qubit operator acting on qubit target (0-based) of an
+// n-qubit system.
+func Lift1(op *linalg.Matrix, target, n int) *linalg.Matrix {
+	out := linalg.Identity(1)
+	for i := 0; i < n; i++ {
+		if i == target {
+			out = linalg.Kron(out, op)
+		} else {
+			out = linalg.Kron(out, I2)
+		}
+	}
+	return out
+}
+
+// Lift2 embeds a two-qubit operator acting on adjacent qubits (target,
+// target+1) of an n-qubit system.
+func Lift2(op *linalg.Matrix, target, n int) *linalg.Matrix {
+	if target+1 >= n {
+		panic("quantum: Lift2 target out of range")
+	}
+	out := linalg.Identity(1)
+	i := 0
+	for i < n {
+		if i == target {
+			out = linalg.Kron(out, op)
+			i += 2
+		} else {
+			out = linalg.Kron(out, I2)
+			i++
+		}
+	}
+	return out
+}
+
+// Conjugate returns U·ρ·U†.
+func Conjugate(u, rho *linalg.Matrix) *linalg.Matrix {
+	return linalg.MulChain(u, rho, linalg.Adjoint(u))
+}
+
+// ApplyGate1 applies a single-qubit unitary to qubit target of an n-qubit ρ.
+func ApplyGate1(rho, gate *linalg.Matrix, target, n int) *linalg.Matrix {
+	return Conjugate(Lift1(gate, target, n), rho)
+}
+
+// ApplyGate2 applies a two-qubit unitary to adjacent qubits (target,
+// target+1) of an n-qubit ρ.
+func ApplyGate2(rho, gate *linalg.Matrix, target, n int) *linalg.Matrix {
+	return Conjugate(Lift2(gate, target, n), rho)
+}

@@ -1,0 +1,137 @@
+package quantum
+
+import (
+	"math/rand"
+
+	"qnp/internal/linalg"
+)
+
+// Basis selects a single-qubit measurement basis.
+type Basis uint8
+
+// Measurement bases. ZBasis is the computational basis; X and Y are reached
+// by basis-change rotations before a Z measurement, exactly as on hardware.
+const (
+	ZBasis Basis = iota
+	XBasis
+	YBasis
+)
+
+func (b Basis) String() string {
+	switch b {
+	case ZBasis:
+		return "Z"
+	case XBasis:
+		return "X"
+	case YBasis:
+		return "Y"
+	}
+	return "Basis(?)"
+}
+
+// Readout models a noisy single-qubit readout: F0 is the probability of
+// reporting 0 when the projected state is |0>, F1 of reporting 1 when it is
+// |1>. Table 1's "electron readout" rows populate this.
+type Readout struct {
+	F0, F1 float64
+}
+
+// PerfectReadout reports outcomes faithfully.
+var PerfectReadout = Readout{F0: 1, F1: 1}
+
+var (
+	proj0 = linalg.FromRows([][]complex128{{1, 0}, {0, 0}})
+	proj1 = linalg.FromRows([][]complex128{{0, 0}, {0, 1}})
+)
+
+// Measure performs a Z-basis measurement of qubit target of an n-qubit ρ.
+// It samples the physical outcome from ρ, projects ρ accordingly (the
+// physical collapse is faithful), then flips the *reported* classical bit
+// with the readout error probability. It returns the reported bit and the
+// normalised post-measurement state (same dimension; the measured qubit
+// remains, collapsed).
+func Measure(rho *linalg.Matrix, target, n int, ro Readout, rng *rand.Rand) (bit int, post *linalg.Matrix) {
+	p0op := Lift1(proj0, target, n)
+	p0 := real(linalg.Trace(linalg.Mul(p0op, rho)))
+	if p0 < 0 {
+		p0 = 0
+	}
+	if p0 > 1 {
+		p0 = 1
+	}
+	truth := 1
+	proj := Lift1(proj1, target, n)
+	prob := 1 - p0
+	if rng.Float64() < p0 {
+		truth = 0
+		proj = p0op
+		prob = p0
+	}
+	post = Conjugate(proj, rho)
+	if prob > 1e-15 {
+		post.ScaleInPlace(complex(1/prob, 0))
+	}
+	bit = truth
+	if truth == 0 {
+		if rng.Float64() > ro.F0 {
+			bit = 1
+		}
+	} else {
+		if rng.Float64() > ro.F1 {
+			bit = 0
+		}
+	}
+	return bit, post
+}
+
+// MeasureInBasis rotates qubit target into the requested basis and performs
+// a Z measurement. The rotation is noiseless (Table 1: electron single-qubit
+// gate fidelity 1.0); readout noise applies as in Measure.
+func MeasureInBasis(rho *linalg.Matrix, target, n int, basis Basis, ro Readout, rng *rand.Rand) (bit int, post *linalg.Matrix) {
+	switch basis {
+	case XBasis:
+		rho = ApplyGate1(rho, H, target, n)
+	case YBasis:
+		rho = ApplyGate1(rho, SDagger, target, n)
+		rho = ApplyGate1(rho, H, target, n)
+	}
+	return Measure(rho, target, n, ro, rng)
+}
+
+// TraceOut removes qubit target from an n-qubit state (after it has been
+// measured or otherwise disposed of), returning the (n−1)-qubit state.
+func TraceOut(rho *linalg.Matrix, target, n int) *linalg.Matrix {
+	dims := make([]int, n)
+	keep := make([]bool, n)
+	for i := range dims {
+		dims[i] = 2
+		keep[i] = i != target
+	}
+	return linalg.PartialTrace(rho, dims, keep)
+}
+
+// ExpectationPauli returns <P_a ⊗ P_b> for a two-qubit state, with Pauli
+// indices 0..3 = I,X,Y,Z. Fidelity test rounds (§3.4, "fidelity test
+// rounds") estimate the fidelity of delivered pairs from exactly these
+// correlators: F(Φ+) = (1 + <XX> − <YY> + <ZZ>)/4.
+func ExpectationPauli(rho *linalg.Matrix, a, b int) float64 {
+	op := linalg.Kron(Pauli(a), Pauli(b))
+	return real(linalg.Trace(linalg.Mul(op, rho)))
+}
+
+// FidelityFromCorrelators reconstructs the fidelity with Bell state idx from
+// the three Pauli correlators of the state. The sign pattern per Bell state
+// follows from each Bell state being a ±1 eigenstate of XX, YY and ZZ.
+func FidelityFromCorrelators(xx, yy, zz float64, idx BellIndex) float64 {
+	sx, sy, sz := 1.0, -1.0, 1.0
+	switch idx {
+	case PhiPlus: // +XX −YY +ZZ
+	case PhiMinus: // −XX +YY +ZZ
+		sx, sy = -1, 1
+	case PsiPlus: // +XX +YY −ZZ
+		sy, sz = 1, -1
+	case PsiMinus: // −XX −YY −ZZ
+		sx, sz = -1, -1
+	}
+	return (1 + sx*xx + sy*yy + sz*zz) / 4
+}

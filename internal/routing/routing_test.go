@@ -1,0 +1,185 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"qnp/internal/hardware"
+	"qnp/internal/sim"
+)
+
+func dumbbell() *Graph {
+	g := NewGraph()
+	for _, n := range []string{"A0", "A1", "MA", "MB", "B0", "B1"} {
+		g.AddNode(n)
+	}
+	lab := hardware.LabLink()
+	g.AddLink("A0", "MA", lab)
+	g.AddLink("A1", "MA", lab)
+	g.AddLink("MA", "MB", lab)
+	g.AddLink("MB", "B0", lab)
+	g.AddLink("MB", "B1", lab)
+	return g
+}
+
+func TestShortestPathDumbbell(t *testing.T) {
+	g := dumbbell()
+	path, err := g.ShortestPath("A0", "B0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A0", "MA", "MB", "B0"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if _, err := g.ShortestPath("A0", "nope"); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	// Deterministic repeated runs.
+	p2, _ := g.ShortestPath("A0", "B0")
+	for i := range path {
+		if p2[i] != path[i] {
+			t.Fatal("path not deterministic")
+		}
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("x")
+	g.AddNode("y")
+	if _, err := g.ShortestPath("x", "y"); err == nil {
+		t.Error("disconnected nodes produced a path")
+	}
+}
+
+func TestPlanCircuitBudget(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	plan, err := c.PlanCircuit("A0", "B0", 0.8, CutoffLong, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Path) != 4 {
+		t.Fatalf("path = %v", plan.Path)
+	}
+	// The link fidelity must exceed the end-to-end target (swaps and
+	// decoherence only lose fidelity).
+	if plan.LinkFidelity <= 0.8 {
+		t.Errorf("link fidelity %v not above end-to-end 0.8", plan.LinkFidelity)
+	}
+	// And the worst case must meet the target.
+	if plan.WorstCaseFidelity < 0.8-1e-6 {
+		t.Errorf("worst case %v below target", plan.WorstCaseFidelity)
+	}
+	if plan.Cutoff <= 0 {
+		t.Error("long cutoff policy produced no cutoff")
+	}
+	if plan.MaxLPR <= 0 || plan.LinkPairTime <= 0 {
+		t.Error("rate fields not populated")
+	}
+}
+
+func TestHigherTargetNeedsHigherLinkFidelity(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	p80, err1 := c.PlanCircuit("A0", "B0", 0.8, CutoffLong, 0)
+	p90, err2 := c.PlanCircuit("A0", "B0", 0.9, CutoffLong, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if p90.LinkFidelity <= p80.LinkFidelity {
+		t.Errorf("link fidelity for F=0.9 (%v) not above F=0.8 (%v)", p90.LinkFidelity, p80.LinkFidelity)
+	}
+	// Higher fidelity pairs are slower.
+	if p90.MaxLPR >= p80.MaxLPR {
+		t.Errorf("LPR for F=0.9 (%v) not below F=0.8 (%v)", p90.MaxLPR, p80.MaxLPR)
+	}
+}
+
+func TestLongerPathNeedsHigherLinkFidelity(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	short, err1 := c.PlanCircuit("MA", "MB", 0.8, CutoffLong, 0) // 1 hop
+	long, err2 := c.PlanCircuit("A0", "B0", 0.8, CutoffLong, 0)  // 3 hops
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if long.LinkFidelity <= short.LinkFidelity {
+		t.Errorf("3-hop link fidelity %v not above 1-hop %v", long.LinkFidelity, short.LinkFidelity)
+	}
+}
+
+// The short cutoff allows a tighter decoherence bound, so the same
+// end-to-end target needs lower link fidelities — the mechanism behind the
+// rate improvement in Fig. 8(d-f).
+func TestShortCutoffRelaxesLinkFidelity(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	long, err1 := c.PlanCircuit("A0", "B0", 0.85, CutoffLong, 0)
+	short, err2 := c.PlanCircuit("A0", "B0", 0.85, CutoffShort, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if short.Cutoff >= long.Cutoff {
+		t.Errorf("short cutoff %v not below long cutoff %v", short.Cutoff, long.Cutoff)
+	}
+	if short.LinkFidelity > long.LinkFidelity {
+		t.Errorf("short-cutoff link fidelity %v above long-cutoff %v", short.LinkFidelity, long.LinkFidelity)
+	}
+	if short.MaxLPR < long.MaxLPR {
+		t.Errorf("short-cutoff LPR %v below long-cutoff %v", short.MaxLPR, long.MaxLPR)
+	}
+}
+
+func TestUnreachableTargetRejected(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	if _, err := c.PlanCircuit("A0", "B0", 0.97, CutoffLong, 0); err == nil {
+		t.Error("impossible end-to-end fidelity accepted")
+	}
+}
+
+func TestCutoffPolicies(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	none, _ := c.PlanCircuit("A0", "B0", 0.8, CutoffNone, 0)
+	if none.Cutoff != 0 {
+		t.Error("CutoffNone produced a cutoff")
+	}
+	manual, _ := c.PlanCircuit("A0", "B0", 0.8, CutoffManual, 123*sim.Millisecond)
+	if manual.Cutoff != 123*sim.Millisecond {
+		t.Errorf("manual cutoff = %v", manual.Cutoff)
+	}
+	if CutoffNone.String() != "none" || CutoffLong.String() != "long" ||
+		CutoffShort.String() != "short" || CutoffManual.String() != "manual" {
+		t.Error("policy strings wrong")
+	}
+}
+
+// The long cutoff is defined by a 1.5% fidelity loss; verify the computed
+// time indeed loses ≈1.5%.
+func TestLongCutoffCalibration(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	link := hardware.LabLink()
+	cut := c.cutoffFor(link, 0.9, CutoffLong, 0)
+	if cut <= 0 {
+		t.Fatal("no cutoff computed")
+	}
+	lost := 1 - c.worstCaseSingleAged(link, 0.9, cut)
+	// worstCaseSingleAged returns F(aged)/F(fresh).
+	if math.Abs(lost-0.015) > 0.003 {
+		t.Errorf("fidelity loss at cutoff = %.4f, want ≈0.015", lost)
+	}
+}
+
+func TestEnforceEERPopulatesBudget(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	c.EnforceEER = true
+	plan, err := c.PlanCircuit("A0", "B0", 0.8, CutoffLong, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MaxEER <= 0 || plan.MaxEER > plan.MaxLPR {
+		t.Errorf("MaxEER = %v with MaxLPR %v", plan.MaxEER, plan.MaxLPR)
+	}
+}

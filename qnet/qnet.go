@@ -1,0 +1,416 @@
+// Package qnet is the public API of the quantum network protocol library: a
+// builder for simulated quantum networks running the full stack from the
+// paper — NV-centre hardware model, link layer entanglement generation,
+// the Quantum Network Protocol (QNP) data plane, routing controller and
+// signalling protocol — plus an application-facing circuit/request API.
+//
+// A minimal session:
+//
+//	net := qnet.Chain(qnet.DefaultConfig(), 3)     // Alice — repeater — Bob
+//	vc, err := net.Establish("vc1", "n0", "n2", 0.8, nil)
+//	vc.HandleHead(qnet.Handlers{OnPair: func(d qnet.Delivered) { ... }})
+//	vc.Submit(qnet.Request{ID: "r1", Type: qnet.Keep, NumPairs: 10})
+//	net.Run(10 * sim.Second)
+package qnet
+
+import (
+	"fmt"
+
+	"qnp/internal/core"
+	"qnp/internal/device"
+	"qnp/internal/hardware"
+	"qnp/internal/linklayer"
+	"qnp/internal/netsim"
+	"qnp/internal/routing"
+	"qnp/internal/signaling"
+	"qnp/internal/sim"
+)
+
+// Re-exported protocol types, so applications only import qnet (plus the
+// sim and quantum leaf packages for time and measurement bases).
+type (
+	// Request is a QNP request (see core.Request).
+	Request = core.Request
+	// RequestID names a request.
+	RequestID = core.RequestID
+	// CircuitID names a virtual circuit.
+	CircuitID = core.CircuitID
+	// Delivered is an end-node delivery.
+	Delivered = core.Delivered
+	// RequestType selects KEEP / EARLY / MEASURE consumption.
+	RequestType = core.RequestType
+	// TestEstimate is a fidelity test-round report.
+	TestEstimate = core.TestEstimate
+	// CutoffPolicy selects the routing controller's cutoff rule.
+	CutoffPolicy = routing.CutoffPolicy
+	// Plan is the routing controller's circuit plan.
+	Plan = routing.Plan
+)
+
+// Request consumption modes.
+const (
+	Keep    = core.Keep
+	Early   = core.Early
+	Measure = core.Measure
+)
+
+// Cutoff policies.
+const (
+	CutoffNone   = routing.CutoffNone
+	CutoffLong   = routing.CutoffLong
+	CutoffShort  = routing.CutoffShort
+	CutoffManual = routing.CutoffManual
+)
+
+// Config selects the hardware model and topology parameters. All links and
+// nodes are identical, as in the paper's evaluation.
+type Config struct {
+	Seed   int64
+	Params hardware.Params
+	Link   hardware.LinkConfig
+	// QubitsPerLinkEnd is the number of communication qubits each node
+	// dedicates to each of its links (the paper's main evaluation uses 2).
+	// Ignored when SharedCommQubits > 0.
+	QubitsPerLinkEnd int
+	// SharedCommQubits gives each node this many link-agnostic
+	// communication qubits instead (the near-term platform has exactly 1).
+	SharedCommQubits int
+	// StorageQubits adds carbon storage qubits per node (near-term).
+	StorageQubits int
+}
+
+// DefaultConfig is the paper's main evaluation setup: idealised NV
+// parameters, 2 m lab fibre, two communication qubits per link end.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Params:           hardware.Simulation(),
+		Link:             hardware.LabLink(),
+		QubitsPerLinkEnd: 2,
+	}
+}
+
+// NearTermConfig is the §5.3 setup: near-term NV parameters, 25 km telecom
+// fibre, a single shared communication qubit and carbon storage.
+func NearTermConfig(lengthM float64) Config {
+	return Config{
+		Seed:             1,
+		Params:           hardware.NearTerm(),
+		Link:             hardware.TelecomLink(lengthM),
+		SharedCommQubits: 1,
+		StorageQubits:    4,
+	}
+}
+
+// Network is a fully wired simulated quantum network.
+type Network struct {
+	Config     Config
+	Sim        *sim.Simulation
+	Classical  *netsim.Network
+	Fabric     *linklayer.Fabric
+	Graph      *routing.Graph
+	Controller *routing.Controller
+
+	devices  map[string]*device.Device
+	nodes    map[string]*core.Node
+	signaler *signaling.Signaler
+	started  bool
+
+	circuits map[CircuitID]*Circuit
+	// handlers dispatch per (node, circuit); installed lazily per node.
+	handlers map[string]map[CircuitID]Handlers
+}
+
+// New creates an empty network; add nodes and links, then Start.
+func New(cfg Config) *Network {
+	if cfg.QubitsPerLinkEnd == 0 && cfg.SharedCommQubits == 0 {
+		cfg.QubitsPerLinkEnd = 2
+	}
+	s := sim.New(cfg.Seed)
+	n := &Network{
+		Config:    cfg,
+		Sim:       s,
+		Classical: netsim.New(s),
+		Fabric:    linklayer.NewFabric(),
+		Graph:     routing.NewGraph(),
+		devices:   make(map[string]*device.Device),
+		nodes:     make(map[string]*core.Node),
+		circuits:  make(map[CircuitID]*Circuit),
+		handlers:  make(map[string]map[CircuitID]Handlers),
+	}
+	n.Controller = routing.NewController(n.Graph, cfg.Params)
+	return n
+}
+
+// AddNode registers a node.
+func (n *Network) AddNode(id string) {
+	if n.started {
+		panic("qnet: AddNode after Start")
+	}
+	n.Classical.AddNode(netsim.NodeID(id))
+	n.Graph.AddNode(id)
+	dev := device.New(n.Sim, id, n.Config.Params)
+	if n.Config.SharedCommQubits > 0 {
+		dev.AddCommQubits("", n.Config.SharedCommQubits)
+	}
+	if n.Config.StorageQubits > 0 {
+		dev.AddStorageQubits(n.Config.StorageQubits)
+	}
+	n.devices[id] = dev
+}
+
+// Connect joins two nodes with the configured link (quantum + classical).
+func (n *Network) Connect(a, b string) {
+	if n.started {
+		panic("qnet: Connect after Start")
+	}
+	name := linklayer.LinkName(a, b)
+	if n.Config.QubitsPerLinkEnd > 0 && n.Config.SharedCommQubits == 0 {
+		n.devices[a].AddCommQubits(name, n.Config.QubitsPerLinkEnd)
+		n.devices[b].AddCommQubits(name, n.Config.QubitsPerLinkEnd)
+	}
+	n.Classical.Connect(netsim.NodeID(a), netsim.NodeID(b), n.Config.Link.PropagationDelay())
+	n.Fabric.Add(linklayer.NewEngine(n.Sim, name, n.Config.Link, n.devices[a], n.devices[b]))
+	n.Graph.AddLink(a, b, n.Config.Link)
+}
+
+// Start freezes the topology and wires the protocol stack.
+func (n *Network) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	var cores []*core.Node
+	for id, dev := range n.devices {
+		node := core.NewNode(n.Sim, n.Classical, dev, n.Fabric)
+		n.nodes[id] = node
+		cores = append(cores, node)
+	}
+	n.signaler = signaling.New(n.Classical, cores)
+	for id := range n.nodes {
+		n.installDispatcher(id)
+	}
+}
+
+// Node returns a node's QNP engine.
+func (n *Network) Node(id string) *core.Node {
+	node, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("qnet: unknown node %q (did you Start()?)", id))
+	}
+	return node
+}
+
+// Device returns a node's quantum device.
+func (n *Network) Device(id string) *device.Device { return n.devices[id] }
+
+// Run advances the simulation by d.
+func (n *Network) Run(d sim.Duration) { n.Sim.RunFor(d) }
+
+// Chain builds a started linear network n0 — n1 — … — n{k−1}.
+func Chain(cfg Config, k int) *Network {
+	n := New(cfg)
+	for i := 0; i < k; i++ {
+		n.AddNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i+1 < k; i++ {
+		n.Connect(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))
+	}
+	n.Start()
+	return n
+}
+
+// Dumbbell builds the paper's Fig. 7 evaluation topology: end-nodes A0, A1,
+// B0, B1 around the MA—MB bottleneck link.
+func Dumbbell(cfg Config) *Network {
+	n := New(cfg)
+	for _, id := range []string{"A0", "A1", "MA", "MB", "B0", "B1"} {
+		n.AddNode(id)
+	}
+	n.Connect("A0", "MA")
+	n.Connect("A1", "MA")
+	n.Connect("MA", "MB")
+	n.Connect("MB", "B0")
+	n.Connect("MB", "B1")
+	n.Start()
+	return n
+}
+
+// CircuitOptions tune circuit establishment.
+type CircuitOptions struct {
+	// Policy selects the cutoff rule; the default is CutoffLong.
+	Policy CutoffPolicy
+	// ManualCutoff is used with CutoffManual.
+	ManualCutoff sim.Duration
+	// MaxEER overrides the circuit's end-to-end rate allocation for
+	// policing/shaping (0 = no admission control, as in the paper).
+	MaxEER float64
+}
+
+// Circuit is an established virtual circuit.
+type Circuit struct {
+	ID   CircuitID
+	Plan Plan
+	net  *Network
+}
+
+// Establish plans a circuit with the routing controller, installs it via
+// the signalling protocol, and advances the simulation just enough for the
+// installation round trip to complete.
+func (n *Network) Establish(id CircuitID, src, dst string, fidelity float64, opts *CircuitOptions) (*Circuit, error) {
+	o := CircuitOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	plan, err := n.Controller.PlanCircuit(src, dst, fidelity, o.Policy, o.ManualCutoff)
+	if err != nil {
+		return nil, err
+	}
+	if o.MaxEER > 0 {
+		plan.MaxEER = o.MaxEER
+	}
+	return n.EstablishPlan(id, plan)
+}
+
+// EstablishPlan installs a hand-built plan, bypassing the routing
+// controller — the paper does exactly this for the near-term hardware
+// evaluation ("as our routing protocol does not work well in this
+// environment we manually populate the routing tables").
+func (n *Network) EstablishPlan(id CircuitID, plan Plan) (*Circuit, error) {
+	if !n.started {
+		n.Start()
+	}
+	if _, dup := n.circuits[id]; dup {
+		return nil, fmt.Errorf("qnet: circuit %q already exists", id)
+	}
+	if err := n.signaler.Establish(id, plan, nil); err != nil {
+		return nil, err
+	}
+	// Drive the installation round trip (twice the path delay plus slack).
+	deadline := n.Sim.Now().Add(n.Classical.PathDelay(toNodeIDs(plan.Path)).Scale(4) + sim.Millisecond)
+	for !n.signaler.Ready(id) && n.Sim.Now() < deadline {
+		if !n.Sim.Step() {
+			n.Sim.RunUntil(deadline)
+			break
+		}
+	}
+	if !n.signaler.Ready(id) {
+		return nil, fmt.Errorf("qnet: circuit %q installation did not confirm", id)
+	}
+	c := &Circuit{ID: id, Plan: plan, net: n}
+	n.circuits[id] = c
+	return c, nil
+}
+
+func toNodeIDs(path []string) []netsim.NodeID {
+	out := make([]netsim.NodeID, len(path))
+	for i, p := range path {
+		out[i] = netsim.NodeID(p)
+	}
+	return out
+}
+
+// Head returns the circuit's head-end QNP node.
+func (c *Circuit) Head() *core.Node { return c.net.Node(c.Plan.Path[0]) }
+
+// Tail returns the circuit's tail-end QNP node.
+func (c *Circuit) Tail() *core.Node { return c.net.Node(c.Plan.Path[len(c.Plan.Path)-1]) }
+
+// Submit sends a request to the circuit's head-end. The request's Circuit
+// field is filled in automatically.
+func (c *Circuit) Submit(req Request) error {
+	req.Circuit = c.ID
+	return c.Head().Submit(req)
+}
+
+// Cancel terminates an open-ended request.
+func (c *Circuit) Cancel(id RequestID) error { return c.Head().Cancel(c.ID, id) }
+
+// Teardown removes the circuit from the network.
+func (c *Circuit) Teardown() {
+	c.net.signaler.Teardown(c.ID, c.Plan)
+	delete(c.net.circuits, c.ID)
+	delete(c.net.handlers[c.Plan.Path[0]], c.ID)
+	delete(c.net.handlers[c.Plan.Path[len(c.Plan.Path)-1]], c.ID)
+}
+
+// Handlers are per-circuit application callbacks at one end-node.
+type Handlers struct {
+	OnPair         func(Delivered)
+	OnEarlyPair    func(Delivered)
+	OnExpire       func(RequestID, linklayer.Correlator)
+	OnComplete     func(RequestID)
+	OnReject       func(Request, string)
+	OnTestEstimate func(TestEstimate)
+	// AutoConsume frees this end's qubit right after OnPair returns —
+	// convenient for applications that only read metadata/fidelity.
+	AutoConsume bool
+}
+
+// HandleHead installs handlers at the circuit's head-end.
+func (c *Circuit) HandleHead(h Handlers) { c.net.setHandlers(c.Plan.Path[0], c.ID, h) }
+
+// HandleTail installs handlers at the circuit's tail-end.
+func (c *Circuit) HandleTail(h Handlers) {
+	c.net.setHandlers(c.Plan.Path[len(c.Plan.Path)-1], c.ID, h)
+}
+
+func (n *Network) setHandlers(node string, id CircuitID, h Handlers) {
+	if n.handlers[node] == nil {
+		n.handlers[node] = make(map[CircuitID]Handlers)
+	}
+	n.handlers[node][id] = h
+}
+
+// installDispatcher wires a node's core callbacks to the per-circuit
+// handler table.
+func (n *Network) installDispatcher(id string) {
+	node := n.nodes[id]
+	dev := n.devices[id]
+	consume := func(d Delivered) {
+		if d.Pair == nil {
+			return
+		}
+		if s := d.Pair.LocalSide(id); s >= 0 {
+			if q := d.Pair.Half(s); q != nil {
+				dev.Free(q)
+			}
+		}
+	}
+	node.SetCallbacks(core.AppCallbacks{
+		OnPair: func(d Delivered) {
+			h := n.handlers[id][d.Circuit]
+			if h.OnPair != nil {
+				h.OnPair(d)
+			}
+			if h.AutoConsume || h.OnPair == nil {
+				consume(d)
+			}
+		},
+		OnEarlyPair: func(d Delivered) {
+			if h := n.handlers[id][d.Circuit]; h.OnEarlyPair != nil {
+				h.OnEarlyPair(d)
+			}
+		},
+		OnExpire: func(cid CircuitID, rid RequestID, corr linklayer.Correlator) {
+			if h := n.handlers[id][cid]; h.OnExpire != nil {
+				h.OnExpire(rid, corr)
+			}
+		},
+		OnComplete: func(cid CircuitID, rid RequestID) {
+			if h := n.handlers[id][cid]; h.OnComplete != nil {
+				h.OnComplete(rid)
+			}
+		},
+		OnReject: func(req Request, reason string) {
+			if h := n.handlers[id][req.Circuit]; h.OnReject != nil {
+				h.OnReject(req, reason)
+			}
+		},
+		OnTestEstimate: func(te TestEstimate) {
+			if h := n.handlers[id][te.Circuit]; h.OnTestEstimate != nil {
+				h.OnTestEstimate(te)
+			}
+		},
+	})
+}

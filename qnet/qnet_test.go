@@ -1,0 +1,196 @@
+package qnet
+
+import (
+	"testing"
+
+	"qnp/internal/linklayer"
+	"qnp/internal/quantum"
+	"qnp/internal/sim"
+)
+
+func TestChainQuickstart(t *testing.T) {
+	net := Chain(DefaultConfig(), 3)
+	vc, err := net.Establish("vc1", "n0", "n2", 0.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Delivered
+	done := false
+	vc.HandleHead(Handlers{
+		OnPair:      func(d Delivered) { got = append(got, d) },
+		OnComplete:  func(RequestID) { done = true },
+		AutoConsume: true,
+	})
+	vc.HandleTail(Handlers{AutoConsume: true})
+	if err := vc.Submit(Request{ID: "r1", Type: Keep, NumPairs: 5}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(30 * sim.Second)
+	if len(got) != 5 || !done {
+		t.Fatalf("delivered %d pairs, done=%v", len(got), done)
+	}
+	for _, d := range got {
+		if !d.State.Valid() {
+			t.Error("invalid declared state")
+		}
+	}
+}
+
+func TestDumbbellTopology(t *testing.T) {
+	net := Dumbbell(DefaultConfig())
+	vc, err := net.Establish("c1", "A0", "B0", 0.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vc.Plan.Path) != 4 {
+		t.Fatalf("A0→B0 path = %v", vc.Plan.Path)
+	}
+	// Second circuit shares the bottleneck link.
+	vc2, err := net.Establish("c2", "A1", "B1", 0.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count1, count2 := 0, 0
+	vc.HandleHead(Handlers{OnPair: func(Delivered) { count1++ }, AutoConsume: true})
+	vc.HandleTail(Handlers{AutoConsume: true})
+	vc2.HandleHead(Handlers{OnPair: func(Delivered) { count2++ }, AutoConsume: true})
+	vc2.HandleTail(Handlers{AutoConsume: true})
+	if err := vc.Submit(Request{ID: "r1", Type: Keep, NumPairs: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vc2.Submit(Request{ID: "r1", Type: Keep, NumPairs: 3}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(60 * sim.Second)
+	if count1 != 3 || count2 != 3 {
+		t.Fatalf("deliveries c1=%d c2=%d, want 3/3", count1, count2)
+	}
+}
+
+func TestDefaultAutoConsumeWithoutHandlers(t *testing.T) {
+	// A circuit with no handlers must not wedge on end-node memory.
+	net := Chain(DefaultConfig(), 2)
+	vc, err := net.Establish("c", "n0", "n1", 0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vc.Submit(Request{ID: "r", Type: Keep, NumPairs: 10}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(10 * sim.Second)
+	free := net.Device("n0").FreeCommCount(linklayer.LinkName("n0", "n1"))
+	if free != 2 {
+		t.Errorf("head free qubits = %d after unhandled deliveries", free)
+	}
+}
+
+func TestCircuitOptionsPolicies(t *testing.T) {
+	net := Dumbbell(DefaultConfig())
+	long, err := net.Establish("l", "A0", "B0", 0.85, &CircuitOptions{Policy: CutoffLong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := net.Establish("s", "A1", "B1", 0.85, &CircuitOptions{Policy: CutoffShort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Plan.Cutoff >= long.Plan.Cutoff {
+		t.Errorf("short cutoff %v not shorter than long %v", short.Plan.Cutoff, long.Plan.Cutoff)
+	}
+	none, err := net.Establish("n", "A0", "B1", 0.85, &CircuitOptions{Policy: CutoffNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Plan.Cutoff != 0 {
+		t.Error("CutoffNone produced a cutoff")
+	}
+	manual, err := net.Establish("m", "A1", "B0", 0.85, &CircuitOptions{Policy: CutoffManual, ManualCutoff: 42 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.Plan.Cutoff != 42*sim.Millisecond {
+		t.Errorf("manual cutoff = %v", manual.Plan.Cutoff)
+	}
+}
+
+func TestDuplicateCircuitRejected(t *testing.T) {
+	net := Chain(DefaultConfig(), 2)
+	if _, err := net.Establish("c", "n0", "n1", 0.8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Establish("c", "n0", "n1", 0.8, nil); err == nil {
+		t.Error("duplicate circuit accepted")
+	}
+	if _, err := net.Establish("c2", "n0", "zz", 0.8, nil); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if _, err := net.Establish("c3", "n0", "n1", 0.9999, nil); err == nil {
+		t.Error("impossible fidelity accepted")
+	}
+}
+
+func TestTeardownAndReestablish(t *testing.T) {
+	net := Chain(DefaultConfig(), 3)
+	vc, err := net.Establish("c", "n0", "n2", 0.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.Teardown()
+	net.Run(sim.Millisecond)
+	vc2, err := net.Establish("c", "n0", "n2", 0.8, nil)
+	if err != nil {
+		t.Fatalf("re-establish failed: %v", err)
+	}
+	count := 0
+	vc2.HandleHead(Handlers{OnPair: func(Delivered) { count++ }, AutoConsume: true})
+	vc2.HandleTail(Handlers{AutoConsume: true})
+	if err := vc2.Submit(Request{ID: "r", Type: Keep, NumPairs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(20 * sim.Second)
+	if count != 2 {
+		t.Errorf("deliveries after re-establish = %d", count)
+	}
+}
+
+func TestMeasureRequestThroughFacade(t *testing.T) {
+	net := Chain(DefaultConfig(), 3)
+	vc, err := net.Establish("c", "n0", "n2", 0.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var headBits, tailBits []Delivered
+	vc.HandleHead(Handlers{OnPair: func(d Delivered) { headBits = append(headBits, d) }})
+	vc.HandleTail(Handlers{OnPair: func(d Delivered) { tailBits = append(tailBits, d) }})
+	if err := vc.Submit(Request{ID: "r", Type: Measure, MeasureBasis: quantum.ZBasis, NumPairs: 10}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(60 * sim.Second)
+	if len(headBits) != 10 || len(tailBits) != 10 {
+		t.Fatalf("measure deliveries %d/%d", len(headBits), len(tailBits))
+	}
+	agree := 0
+	for i := range headBits {
+		wantEqual := headBits[i].State.XBit() == 0
+		if (headBits[i].Bit == tailBits[i].Bit) == wantEqual {
+			agree++
+		}
+	}
+	if agree < 8 {
+		t.Errorf("correct correlations %d/10", agree)
+	}
+}
+
+func TestNearTermConfigBuilds(t *testing.T) {
+	cfg := NearTermConfig(25000)
+	cfg.Seed = 3
+	net := Chain(cfg, 3)
+	// The near-term platform cannot reach high fidelities; 0.5 must plan.
+	vc, err := net.Establish("c", "n0", "n2", 0.5, &CircuitOptions{Policy: CutoffManual, ManualCutoff: 2 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Plan.LinkFidelity <= 0.5 {
+		t.Errorf("near-term link fidelity = %v", vc.Plan.LinkFidelity)
+	}
+}
