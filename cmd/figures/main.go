@@ -6,24 +6,34 @@
 //	figures -fig all            # everything, default size
 //	figures -fig 8 -runs 3      # one figure
 //	figures -fig 10ab -quick    # smoke-test size
+//	figures -fig topo -progress # topology sweep with a progress ticker
 //
-// Figure IDs: 5, 8, 9, 10ab, 10c, 11, tables, all.
+// Figure IDs: 5, 8, 9, 10ab, 10c, 11, tables, topo, all.
+//
+// Replicas fan out across a worker pool (-workers, default NumCPU); the
+// per-replica seeding makes every figure bit-identical for any worker
+// count. Ctrl-C cancels the in-flight figure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"qnp/internal/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, all")
 	runs := flag.Int("runs", 0, "independent simulation runs per point (0 = default)")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "replica worker pool size (0 = NumCPU)")
+	progress := flag.Bool("progress", false, "print replica progress to stderr")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -34,34 +44,67 @@ func main() {
 		o.Runs = *runs
 	}
 	o.Seed = *seed
+	o.Workers = *workers
+	if *progress {
+		o.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d replicas", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	o.Context = ctx
 
 	w := os.Stdout
-	run := func(name string, fn func()) {
+	// Figures compute first, print after: a Ctrl-C mid-figure leaves the
+	// aggregates holding zeros for replicas that never ran, so an
+	// interrupted figure's output is discarded rather than printed.
+	run := func(name string, fn func() interface{ Print(io.Writer) }) {
+		if ctx.Err() != nil {
+			fmt.Fprintf(w, "[%s skipped: interrupted]\n", name)
+			return
+		}
 		t0 := time.Now()
-		fn()
+		d := fn()
+		if ctx.Err() != nil {
+			fmt.Fprintf(w, "[%s interrupted: partial results discarded]\n", name)
+			return
+		}
+		d.Print(w)
 		fmt.Fprintf(w, "[%s regenerated in %.1fs]\n", name, time.Since(t0).Seconds())
 	}
 	want := func(name string) bool { return *fig == name || *fig == "all" }
 
 	if want("tables") {
-		run("tables", func() { experiments.WriteTables(w) })
+		// Tables are closed-form (no replicas), printed directly.
+		if ctx.Err() == nil {
+			t0 := time.Now()
+			experiments.WriteTables(w)
+			fmt.Fprintf(w, "[tables regenerated in %.1fs]\n", time.Since(t0).Seconds())
+		}
 	}
 	if want("5") {
-		run("fig5", func() { experiments.Fig5(o).Print(w) })
+		run("fig5", func() interface{ Print(io.Writer) } { return experiments.Fig5(o) })
 	}
 	if want("8") {
-		run("fig8", func() { experiments.Fig8(o).Print(w) })
+		run("fig8", func() interface{ Print(io.Writer) } { return experiments.Fig8(o) })
 	}
 	if want("9") {
-		run("fig9", func() { experiments.Fig9(o).Print(w) })
+		run("fig9", func() interface{ Print(io.Writer) } { return experiments.Fig9(o) })
 	}
 	if want("10ab") {
-		run("fig10ab", func() { experiments.Fig10AB(o).Print(w) })
+		run("fig10ab", func() interface{ Print(io.Writer) } { return experiments.Fig10AB(o) })
 	}
 	if want("10c") {
-		run("fig10c", func() { experiments.Fig10C(o).Print(w) })
+		run("fig10c", func() interface{ Print(io.Writer) } { return experiments.Fig10C(o) })
 	}
 	if want("11") {
-		run("fig11", func() { experiments.Fig11(o).Print(w) })
+		run("fig11", func() interface{ Print(io.Writer) } { return experiments.Fig11(o) })
+	}
+	if want("topo") {
+		run("topo", func() interface{ Print(io.Writer) } { return experiments.TopologySweep(o) })
 	}
 }

@@ -1,12 +1,16 @@
-// Command qnpsim runs an ad-hoc QNP scenario from flags: a linear chain or
-// the paper's dumbbell topology, one circuit, one request, and a summary of
-// what the network delivered.
+// Command qnpsim runs an ad-hoc QNP scenario from flags: any generated
+// topology (chain, dumbbell, ring, star, grid, Waxman random graph), one
+// circuit, one request, and a summary of what the network delivered.
 //
 // Examples:
 //
 //	qnpsim -nodes 4 -fidelity 0.85 -pairs 20
 //	qnpsim -topology dumbbell -src A0 -dst B1 -fidelity 0.8 -pairs 10 -cutoff short
+//	qnpsim -topology grid -rows 3 -cols 3 -fidelity 0.8 -pairs 5
+//	qnpsim -topology random -nodes 10 -seed 7 -pairs 5
 //	qnpsim -nearterm -nodes 3 -fidelity 0.5 -pairs 5
+//
+// When -src/-dst are omitted the circuit spans the topology's diameter.
 package main
 
 import (
@@ -21,10 +25,14 @@ import (
 )
 
 func main() {
-	topology := flag.String("topology", "chain", "chain or dumbbell")
-	nodes := flag.Int("nodes", 3, "chain length (chain topology)")
-	src := flag.String("src", "", "source end-node (defaults: first/last of chain, A0/B0)")
-	dst := flag.String("dst", "", "destination end-node")
+	topology := flag.String("topology", "chain", "chain, dumbbell, ring, star, grid or random")
+	nodes := flag.Int("nodes", 3, "node count (chain, ring, star, random)")
+	rows := flag.Int("rows", 3, "grid rows")
+	cols := flag.Int("cols", 3, "grid columns")
+	alpha := flag.Float64("alpha", 0.4, "Waxman link-probability scale (random topology)")
+	beta := flag.Float64("beta", 0.4, "Waxman distance decay (random topology)")
+	src := flag.String("src", "", "source end-node (default: a diameter endpoint of the topology)")
+	dst := flag.String("dst", "", "destination end-node (default: the matching diameter endpoint)")
 	fidelity := flag.Float64("fidelity", 0.85, "end-to-end fidelity target")
 	pairs := flag.Int("pairs", 10, "number of pairs to request")
 	cutoff := flag.String("cutoff", "long", "cutoff policy: long, short, none")
@@ -40,27 +48,50 @@ func main() {
 	}
 	cfg.Seed = *seed
 
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(2)
+	}
 	var net *qnet.Network
 	switch *topology {
 	case "chain":
+		if *nodes < 2 {
+			die("chain needs -nodes ≥ 2 (got %d)", *nodes)
+		}
 		net = qnet.Chain(cfg, *nodes)
-		if *src == "" {
-			*src = "n0"
-		}
-		if *dst == "" {
-			*dst = fmt.Sprintf("n%d", *nodes-1)
-		}
 	case "dumbbell":
 		net = qnet.Dumbbell(cfg)
+	case "ring":
+		if *nodes < 3 {
+			die("ring needs -nodes ≥ 3 (got %d)", *nodes)
+		}
+		net = qnet.Ring(cfg, *nodes)
+	case "star":
+		if *nodes < 2 {
+			die("star needs -nodes ≥ 2 (got %d)", *nodes)
+		}
+		net = qnet.Star(cfg, *nodes)
+	case "grid":
+		if *rows < 1 || *cols < 1 || *rows**cols < 2 {
+			die("grid needs positive -rows/-cols spanning ≥ 2 nodes (got %dx%d)", *rows, *cols)
+		}
+		net = qnet.Grid(cfg, *rows, *cols)
+	case "random":
+		if *nodes < 2 {
+			die("random needs -nodes ≥ 2 (got %d)", *nodes)
+		}
+		net = qnet.RandomGraph(cfg, *nodes, *alpha, *beta)
+	default:
+		die("unknown topology %q", *topology)
+	}
+	if *src == "" || *dst == "" {
+		a, b, _ := net.Diameter()
 		if *src == "" {
-			*src = "A0"
+			*src = a
 		}
 		if *dst == "" {
-			*dst = "B0"
+			*dst = b
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
-		os.Exit(2)
 	}
 
 	var policy routing.CutoffPolicy

@@ -1,0 +1,3 @@
+module qnp
+
+go 1.21

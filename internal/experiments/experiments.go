@@ -10,12 +10,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sort"
-	"sync"
 
+	"qnp/internal/runner"
 	"qnp/internal/sim"
 )
 
@@ -28,6 +27,18 @@ type Options struct {
 	// Quick shrinks workloads (fewer pairs, shorter horizons) for smoke
 	// runs and benchmarks.
 	Quick bool
+	// Workers caps the replica runner's worker pool (0 = NumCPU). The
+	// value only changes wall-clock time: figure aggregates are
+	// bit-identical for any worker count.
+	Workers int
+	// Progress, when non-nil, receives a tick after each simulation
+	// replica of the current figure completes.
+	Progress func(done, total int)
+	// Context, when non-nil, cancels the remaining replicas of the
+	// current figure early. A cancelled figure's aggregates include
+	// zero values for the replicas that never ran, so callers must
+	// treat its output as garbage and discard it (cmd/figures does).
+	Context context.Context
 }
 
 // DefaultOptions is the standard reproduction size.
@@ -36,47 +47,31 @@ func DefaultOptions() Options { return Options{Runs: 10, Seed: 1} }
 // QuickOptions is the smoke-test size.
 func QuickOptions() Options { return Options{Runs: 2, Seed: 1, Quick: true} }
 
-// parallelRuns fans out independent simulation runs across CPUs; fn must
-// build its own Network from the given seed. Results are kept in run order
-// so output is deterministic regardless of scheduling.
+func (o Options) runnerOpts() runner.Options {
+	return runner.Options{Workers: o.Workers, Seed: o.Seed, Progress: o.Progress, Context: o.Context}
+}
+
+// parallelRuns fans a figure point's o.Runs independent replicas through
+// the runner; fn must build its own network from the seed it is handed.
+// Results come back in replica order.
 func parallelRuns[T any](o Options, fn func(seed int64) T) []T {
-	out := make([]T, o.Runs)
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for i := 0; i < o.Runs; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = fn(o.Seed + int64(i)*1000003)
-		}()
-	}
-	wg.Wait()
+	out, _ := runner.Run(o.runnerOpts(), o.Runs, func(_ int, seed int64) T {
+		return fn(seed)
+	})
 	return out
 }
 
-func mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+// mapJobs fans a whole scenario grid (every point × replica) through the
+// runner at once, so a figure saturates the pool even when each point
+// only has one replica. Results come back in job order.
+func mapJobs[J, T any](o Options, jobs []J, fn func(job J, seed int64) T) []T {
+	out, _ := runner.Map(o.runnerOpts(), jobs, fn)
+	return out
 }
 
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	idx := int(p * float64(len(s)-1))
-	return s[idx]
-}
+func mean(xs []float64) float64 { return runner.Mean(xs) }
+
+func percentile(xs []float64, p float64) float64 { return runner.Percentile(xs, p) }
 
 func seconds(d sim.Duration) float64 { return d.Seconds() }
 

@@ -2,15 +2,23 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
+
+	"qnp/internal/runner"
+	"qnp/internal/sim"
 )
 
 // The quick variants of every figure must run and produce physically
 // sensible headline numbers — this is the regression net for the whole
-// reproduction harness.
+// reproduction harness. Under -short the full quick grids give way to
+// trimmed two-point variants that exercise the same run functions, so
+// `go test -race -short ./...` stays fast while `go test ./...` keeps the
+// complete shape checks.
 
 func TestFig5Quick(t *testing.T) {
+	t.Parallel()
 	d := Fig5(QuickOptions())
 	if len(d.Samples) < 100 {
 		t.Fatalf("samples = %d", len(d.Samples))
@@ -33,6 +41,17 @@ func TestFig5Quick(t *testing.T) {
 }
 
 func TestFig8Quick(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		// Two points of the single-circuit panel: latency must grow with
+		// offered load.
+		one := fig8Run(runner.DeriveSeed(1, 0), 1, false, 0.85, 1, 10, 60*sim.Second)
+		eight := fig8Run(runner.DeriveSeed(1, 1), 1, false, 0.85, 8, 10, 60*sim.Second)
+		if eight.LatencyS <= one.LatencyS {
+			t.Errorf("latency not increasing with load: 1→%.2f 8→%.2f", one.LatencyS, eight.LatencyS)
+		}
+		return
+	}
 	d := Fig8(QuickOptions())
 	if len(d.Points) == 0 {
 		t.Fatal("no points")
@@ -75,6 +94,17 @@ func TestFig8Quick(t *testing.T) {
 }
 
 func TestFig9Quick(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		// One load point, empty versus congested: congestion must cost
+		// latency.
+		empty := fig9Run(runner.DeriveSeed(1, 0), false, 0.3, 10*sim.Second, 6*sim.Second)
+		congested := fig9Run(runner.DeriveSeed(1, 0), true, 0.3, 10*sim.Second, 6*sim.Second)
+		if congested.LatencyS <= empty.LatencyS {
+			t.Errorf("congested latency %.3f not above empty %.3f", congested.LatencyS, empty.LatencyS)
+		}
+		return
+	}
 	d := Fig9(QuickOptions())
 	if len(d.Points) == 0 {
 		t.Fatal("no points")
@@ -101,6 +131,20 @@ func TestFig9Quick(t *testing.T) {
 }
 
 func TestFig10ABQuick(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		// Cutoff-protocol throughput must grow with memory lifetime, and
+		// the laxer F=0.8 circuit must outpace F=0.9.
+		lo := fig10Run(runner.DeriveSeed(1, 0), 0.5, false, 3*sim.Second, 0)
+		hi := fig10Run(runner.DeriveSeed(1, 1), 60, false, 3*sim.Second, 0)
+		if hi[0].PairsPS <= lo[0].PairsPS {
+			t.Errorf("throughput did not grow with lifetime: %.2f → %.2f", lo[0].PairsPS, hi[0].PairsPS)
+		}
+		if hi[1].PairsPS <= hi[0].PairsPS {
+			t.Errorf("F=0.8 (%.2f) not faster than F=0.9 (%.2f)", hi[1].PairsPS, hi[0].PairsPS)
+		}
+		return
+	}
 	d := Fig10AB(QuickOptions())
 	// Throughput grows with memory lifetime for the cutoff protocol, and
 	// the F=0.8 circuit outpaces the F=0.9 circuit.
@@ -132,6 +176,17 @@ func TestFig10ABQuick(t *testing.T) {
 }
 
 func TestFig10CQuick(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		// Raw delivery rate must degrade once the control-plane delay
+		// approaches the cutoff.
+		d0 := fig10GoodputRun(runner.DeriveSeed(1, 0), 1.6, 0, 3*sim.Second)
+		d16 := fig10GoodputRun(runner.DeriveSeed(1, 0), 1.6, 16*sim.Millisecond, 3*sim.Second)
+		if d16[1].RawPS >= d0[1].RawPS {
+			t.Errorf("throughput did not degrade with delay: %.1f → %.1f", d0[1].RawPS, d16[1].RawPS)
+		}
+		return
+	}
 	d := Fig10C(QuickOptions())
 	if d.CutoffMS <= 0 {
 		t.Error("no cutoff reported")
@@ -157,6 +212,7 @@ func TestFig10CQuick(t *testing.T) {
 }
 
 func TestFig11Quick(t *testing.T) {
+	t.Parallel()
 	d := Fig11(QuickOptions())
 	if len(d.Deliveries) == 0 {
 		t.Fatal("no deliveries on near-term hardware")
@@ -176,7 +232,67 @@ func TestFig11Quick(t *testing.T) {
 	}
 }
 
+func TestTopologySweepQuick(t *testing.T) {
+	t.Parallel()
+	d := TopologySweep(QuickOptions())
+	if len(d.Points) != 6 {
+		t.Fatalf("%d topologies", len(d.Points))
+	}
+	byName := map[string]TopoPoint{}
+	for _, p := range d.Points {
+		if p.FeasibleFrac < 1 {
+			t.Errorf("%s: routing infeasible (frac %.2f)", p.Topology, p.FeasibleFrac)
+		}
+		if p.PairsPS <= 0 {
+			t.Errorf("%s: no throughput", p.Topology)
+		}
+		if p.MeanFid < d.TargetF-0.05 {
+			t.Errorf("%s: mean fidelity %.3f far below target %.2f", p.Topology, p.MeanFid, d.TargetF)
+		}
+		byName[p.Topology] = p
+	}
+	// More hops cost throughput: the 2-hop chain beats the 4-hop one.
+	if byName["chain-3"].PairsPS <= byName["chain-5"].PairsPS {
+		t.Errorf("chain-3 (%.1f/s) not faster than chain-5 (%.1f/s)",
+			byName["chain-3"].PairsPS, byName["chain-5"].PairsPS)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "waxman-10") {
+		t.Error("Print output incomplete")
+	}
+}
+
+// TestWorkerCountInvariance is the runner's end-to-end determinism proof:
+// the same seed must render byte-identical figure aggregates no matter how
+// many workers share the replicas.
+func TestWorkerCountInvariance(t *testing.T) {
+	t.Parallel()
+	render := func(workers int) string {
+		o := QuickOptions()
+		o.Workers = workers
+		var buf bytes.Buffer
+		Fig5(o).Print(&buf)
+		if !testing.Short() {
+			TopologySweep(o).Print(&buf)
+		}
+		return buf.String()
+	}
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		counts = append(counts, n)
+	}
+	want := render(counts[0])
+	for _, w := range counts[1:] {
+		if got := render(w); got != want {
+			t.Fatalf("workers=%d produced different aggregates:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				w, want, w, got)
+		}
+	}
+}
+
 func TestWriteTables(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	WriteTables(&buf)
 	out := buf.String()
@@ -188,6 +304,7 @@ func TestWriteTables(t *testing.T) {
 }
 
 func TestHelpers(t *testing.T) {
+	t.Parallel()
 	if mean(nil) != 0 || percentile(nil, 0.5) != 0 {
 		t.Error("empty-input helpers wrong")
 	}

@@ -45,25 +45,34 @@ func Fig10AB(o Options) *Fig10ABData {
 		runs = 1
 	}
 	d := &Fig10ABData{HorizonS: horizon.Seconds()}
+	type job struct {
+		oracle bool
+		t2     float64
+	}
+	var jobs []job
 	for _, oracle := range []bool{false, true} {
 		for _, t2 := range lifetimes {
-			ro := o
-			ro.Runs = runs
-			pts := parallelRuns(ro, func(seed int64) [2]Fig10ABPoint {
-				return fig10Run(seed, t2, oracle, horizon, 0)
-			})
-			for i, f := range []float64{0.9, 0.8} {
-				var tp []float64
-				feasible := false
-				for _, p := range pts {
-					tp = append(tp, p[i].PairsPS)
-					feasible = feasible || p[i].Feasible
-				}
-				d.Points = append(d.Points, Fig10ABPoint{
-					T2Star: t2, Fidelity: f, Oracle: oracle,
-					PairsPS: mean(tp), Feasible: feasible,
-				})
+			for r := 0; r < runs; r++ {
+				jobs = append(jobs, job{oracle, t2})
 			}
+		}
+	}
+	pts := mapJobs(o, jobs, func(j job, seed int64) [2]Fig10ABPoint {
+		return fig10Run(seed, j.t2, j.oracle, horizon, 0)
+	})
+	for k := 0; k < len(jobs); k += runs {
+		j := jobs[k]
+		for i, f := range []float64{0.9, 0.8} {
+			var tp []float64
+			feasible := false
+			for _, p := range pts[k : k+runs] {
+				tp = append(tp, p[i].PairsPS)
+				feasible = feasible || p[i].Feasible
+			}
+			d.Points = append(d.Points, Fig10ABPoint{
+				T2Star: j.t2, Fidelity: f, Oracle: j.oracle,
+				PairsPS: mean(tp), Feasible: feasible,
+			})
 		}
 	}
 	return d
@@ -203,15 +212,20 @@ func Fig10C(o Options) *Fig10CData {
 			d.CutoffMS = vc.Plan.Cutoff.Milliseconds()
 		}
 	}
+	var jobs []float64
 	for _, ms := range delays {
-		ro := o
-		ro.Runs = runs
-		pts := parallelRuns(ro, func(seed int64) [2]Fig10ABPoint {
-			return fig10GoodputRun(seed, 1.6, sim.DurationFromSeconds(ms/1e3), horizon)
-		})
+		for r := 0; r < runs; r++ {
+			jobs = append(jobs, ms)
+		}
+	}
+	pts := mapJobs(o, jobs, func(ms float64, seed int64) [2]Fig10ABPoint {
+		return fig10GoodputRun(seed, 1.6, sim.DurationFromSeconds(ms/1e3), horizon)
+	})
+	for k := 0; k < len(jobs); k += runs {
+		ms := jobs[k]
 		for i, f := range []float64{0.9, 0.8} {
 			var raw, good []float64
-			for _, p := range pts {
+			for _, p := range pts[k : k+runs] {
 				raw = append(raw, p[i].RawPS)
 				good = append(good, p[i].PairsPS)
 			}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"qnp/internal/routing"
+	"qnp/internal/runner"
 	"qnp/internal/sim"
 	"qnp/qnet"
 )
@@ -65,7 +66,7 @@ func Fig11(o Options) *Fig11Data {
 
 	d := &Fig11Data{LinkF: linkF, CutoffS: cutoff.Seconds(), TargetF: targetF}
 	start := net.Sim.Now()
-	var fids []float64
+	var fids runner.Stats
 	vc.HandleTail(qnet.Handlers{AutoConsume: true})
 	vc.HandleHead(qnet.Handlers{
 		AutoConsume: true,
@@ -74,7 +75,7 @@ func Fig11(o Options) *Fig11Data {
 			if del.Pair != nil {
 				f = del.Pair.FidelityWith(del.At, del.State)
 			}
-			fids = append(fids, f)
+			fids.Add(f)
 			if f >= targetF {
 				d.DeliveredOK++
 			}
@@ -83,18 +84,27 @@ func Fig11(o Options) *Fig11Data {
 				Count:    len(d.Deliveries) + 1,
 				Fidelity: f,
 			})
+			if o.Progress != nil {
+				o.Progress(len(d.Deliveries), pairs)
+			}
 		},
 	})
 	if err := vc.Submit(qnet.Request{ID: "r", Type: qnet.Keep, NumPairs: pairs}); err != nil {
 		panic(err)
 	}
+	// This figure is a single staircase run, not a replica fan-out, so it
+	// honours cancellation in its own event loop; progress ticks once per
+	// delivered pair above.
 	deadline := start.Add(30 * sim.Minute)
 	for len(d.Deliveries) < pairs && net.Sim.Now() < deadline {
+		if o.Context != nil && o.Context.Err() != nil {
+			break
+		}
 		if !net.Sim.Step() {
 			break
 		}
 	}
-	d.MeanFid = mean(fids)
+	d.MeanFid = fids.Mean()
 	return d
 }
 

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"qnp/internal/device"
 	"qnp/internal/hardware"
 	"qnp/internal/linklayer"
+	"qnp/internal/runner"
 	"qnp/internal/sim"
 )
 
@@ -19,6 +19,8 @@ type Fig5Data struct {
 	MeanMS   float64
 	P95MS    float64
 	Fidelity float64
+
+	agg runner.Stats
 }
 
 // Fig5 measures the link layer's generation time distribution directly —
@@ -68,24 +70,18 @@ func Fig5(o Options) *Fig5Data {
 		}
 		return times
 	})
-	var all []float64
+	d := &Fig5Data{Fidelity: 0.95}
 	for _, r := range runs {
-		all = append(all, r...)
+		d.agg.Add(r...)
 	}
-	sort.Float64s(all)
-	return &Fig5Data{
-		Samples:  all,
-		MeanMS:   mean(all) * 1e3,
-		P95MS:    percentile(all, 0.95) * 1e3,
-		Fidelity: 0.95,
-	}
+	d.Samples = d.agg.Sorted()
+	d.MeanMS = d.agg.Mean() * 1e3
+	d.P95MS = d.agg.Percentile(0.95) * 1e3
+	return d
 }
 
 // CDF evaluates the empirical distribution at time t (seconds).
-func (d *Fig5Data) CDF(t float64) float64 {
-	i := sort.SearchFloat64s(d.Samples, t)
-	return float64(i) / float64(len(d.Samples))
-}
+func (d *Fig5Data) CDF(t float64) float64 { return d.agg.CDF(t) }
 
 // Print writes the CDF series the paper plots.
 func (d *Fig5Data) Print(w io.Writer) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"qnp/internal/runner"
 	"qnp/internal/sim"
 	"qnp/qnet"
 )
@@ -60,28 +61,41 @@ func Fig8(o Options) *Fig8Data {
 		runs = 1
 	}
 	d := &Fig8Data{PairsPerReq: pairs, CapS: capT.Seconds()}
+	// Flatten the whole scenario grid × replica matrix into one runner
+	// batch (replica innermost, so each point's replicas are contiguous).
+	type job struct {
+		nCirc int
+		short bool
+		fid   float64
+		load  int
+	}
+	var jobs []job
 	for _, nCirc := range []int{1, 2, 4} {
 		for _, short := range []bool{false, true} {
 			for _, f := range fids {
 				for _, load := range loads {
-					ro := o
-					ro.Runs = runs
-					lat := parallelRuns(ro, func(seed int64) Fig8Point {
-						return fig8Run(seed, nCirc, short, f, load, pairs, capT)
-					})
-					var ls []float64
-					completed := true
-					for _, p := range lat {
-						ls = append(ls, p.LatencyS)
-						completed = completed && p.Completed
+					for r := 0; r < runs; r++ {
+						jobs = append(jobs, job{nCirc, short, f, load})
 					}
-					d.Points = append(d.Points, Fig8Point{
-						Circuits: nCirc, ShortCut: short, Fidelity: f,
-						Requests: load, LatencyS: mean(ls), Completed: completed,
-					})
 				}
 			}
 		}
+	}
+	pts := mapJobs(o, jobs, func(j job, seed int64) Fig8Point {
+		return fig8Run(seed, j.nCirc, j.short, j.fid, j.load, pairs, capT)
+	})
+	for i := 0; i < len(jobs); i += runs {
+		j := jobs[i]
+		var ls runner.Stats
+		completed := true
+		for _, p := range pts[i : i+runs] {
+			ls.Add(p.LatencyS)
+			completed = completed && p.Completed
+		}
+		d.Points = append(d.Points, Fig8Point{
+			Circuits: j.nCirc, ShortCut: j.short, Fidelity: j.fid,
+			Requests: j.load, LatencyS: ls.Mean(), Completed: completed,
+		})
 	}
 	return d
 }

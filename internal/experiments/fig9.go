@@ -41,26 +41,35 @@ func Fig9(o Options) *Fig9Data {
 		runs = 1
 	}
 	d := &Fig9Data{}
+	type job struct {
+		congested bool
+		interval  float64
+	}
+	var jobs []job
 	for _, congested := range []bool{false, true} {
 		for _, iv := range intervals {
-			ro := o
-			ro.Runs = runs
-			pts := parallelRuns(ro, func(seed int64) Fig9Point {
-				return fig9Run(seed, congested, iv, horizon, measureFrom)
-			})
-			var tp, lat, p5, p95 []float64
-			for _, p := range pts {
-				tp = append(tp, p.ThroughputPS)
-				lat = append(lat, p.LatencyS)
-				p5 = append(p5, p.LatP5)
-				p95 = append(p95, p.LatP95)
+			for r := 0; r < runs; r++ {
+				jobs = append(jobs, job{congested, iv})
 			}
-			d.Points = append(d.Points, Fig9Point{
-				Congested: congested, IntervalS: iv,
-				ThroughputPS: mean(tp), LatencyS: mean(lat),
-				LatP5: mean(p5), LatP95: mean(p95),
-			})
 		}
+	}
+	pts := mapJobs(o, jobs, func(j job, seed int64) Fig9Point {
+		return fig9Run(seed, j.congested, j.interval, horizon, measureFrom)
+	})
+	for i := 0; i < len(jobs); i += runs {
+		j := jobs[i]
+		var tp, lat, p5, p95 []float64
+		for _, p := range pts[i : i+runs] {
+			tp = append(tp, p.ThroughputPS)
+			lat = append(lat, p.LatencyS)
+			p5 = append(p5, p.LatP5)
+			p95 = append(p95, p.LatP95)
+		}
+		d.Points = append(d.Points, Fig9Point{
+			Congested: j.congested, IntervalS: j.interval,
+			ThroughputPS: mean(tp), LatencyS: mean(lat),
+			LatP5: mean(p5), LatP95: mean(p95),
+		})
 	}
 	return d
 }

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qnp/internal/runner"
+	"qnp/internal/sim"
+	"qnp/qnet"
+)
+
+// TopoPoint aggregates one topology's replicas in the sweep: the steady
+// throughput and delivered fidelity of a circuit spanning the topology's
+// diameter.
+type TopoPoint struct {
+	Topology string
+	Nodes    int
+	// Links and Hops are means over replicas — the Waxman graphs resample
+	// their layout each replica, so these are fractional there.
+	Links float64
+	Hops  float64
+	// FeasibleFrac is the fraction of replicas whose diameter circuit the
+	// routing controller could plan at the target fidelity.
+	FeasibleFrac float64
+	PairsPS      float64
+	MeanFid      float64
+}
+
+// TopoData is the topology sweep: the same protocol stack and hardware
+// driven over chains, rings, stars, grids and Waxman random graphs.
+type TopoData struct {
+	Points   []TopoPoint
+	HorizonS float64
+	TargetF  float64
+}
+
+// topoScenario names a generator; build must construct a started network
+// from the replica's config.
+type topoScenario struct {
+	name  string
+	nodes int
+	build func(cfg qnet.Config) *qnet.Network
+}
+
+func topoScenarios() []topoScenario {
+	return []topoScenario{
+		{"chain-3", 3, func(cfg qnet.Config) *qnet.Network { return qnet.Chain(cfg, 3) }},
+		{"chain-5", 5, func(cfg qnet.Config) *qnet.Network { return qnet.Chain(cfg, 5) }},
+		{"ring-6", 6, func(cfg qnet.Config) *qnet.Network { return qnet.Ring(cfg, 6) }},
+		{"star-6", 6, func(cfg qnet.Config) *qnet.Network { return qnet.Star(cfg, 6) }},
+		{"grid-3x3", 9, func(cfg qnet.Config) *qnet.Network { return qnet.Grid(cfg, 3, 3) }},
+		{"waxman-10", 10, func(cfg qnet.Config) *qnet.Network { return qnet.RandomGraph(cfg, 10, 0.5, 0.4) }},
+	}
+}
+
+// TopologySweep drives a diameter-spanning circuit on each generator's
+// output — the scenario-shape sweep the chain-only seed could not express.
+// Every topology runs the identical hardware and protocol stack, so
+// differences isolate what the graph shape does to end-to-end entanglement
+// distribution (hop count, swap concentration at hubs, path diversity).
+func TopologySweep(o Options) *TopoData {
+	horizon := 10 * sim.Second
+	const fid = 0.85
+	runs := o.Runs
+	if runs > 3 {
+		runs = 3
+	}
+	if o.Quick {
+		horizon = 3 * sim.Second
+		runs = 1
+	}
+	scens := topoScenarios()
+	type result struct {
+		links, hops int
+		feasible    bool
+		pairsPS     float64
+		meanFid     float64
+	}
+	var jobs []topoScenario
+	for _, sc := range scens {
+		for r := 0; r < runs; r++ {
+			jobs = append(jobs, sc)
+		}
+	}
+	results := mapJobs(o, jobs, func(sc topoScenario, seed int64) result {
+		cfg := qnet.DefaultConfig()
+		cfg.Seed = seed
+		net := sc.build(cfg)
+		src, dst, hops := net.Diameter()
+		res := result{links: net.LinkCount(), hops: hops}
+		vc, err := net.Establish("topo", src, dst, fid, nil)
+		if err != nil {
+			return res
+		}
+		res.feasible = true
+		count := 0
+		var fids runner.Stats
+		vc.HandleTail(qnet.Handlers{AutoConsume: true})
+		vc.HandleHead(qnet.Handlers{
+			AutoConsume: true,
+			OnPair: func(d qnet.Delivered) {
+				count++
+				if d.Pair != nil {
+					fids.Add(d.Pair.FidelityWith(d.At, d.State))
+				}
+			},
+		})
+		if err := vc.Submit(qnet.Request{ID: "tp", Type: qnet.Keep, NumPairs: 0}); err != nil {
+			panic(err)
+		}
+		start := net.Sim.Now()
+		net.Sim.RunUntil(start.Add(horizon))
+		res.pairsPS = float64(count) / horizon.Seconds()
+		res.meanFid = fids.Mean()
+		return res
+	})
+	d := &TopoData{HorizonS: horizon.Seconds(), TargetF: fid}
+	for i := 0; i < len(jobs); i += runs {
+		sc := jobs[i]
+		var links, hops, feas, tp, mf runner.Stats
+		for _, r := range results[i : i+runs] {
+			links.Add(float64(r.links))
+			hops.Add(float64(r.hops))
+			if r.feasible {
+				feas.Add(1)
+				tp.Add(r.pairsPS)
+				mf.Add(r.meanFid)
+			} else {
+				feas.Add(0)
+			}
+		}
+		d.Points = append(d.Points, TopoPoint{
+			Topology: sc.name, Nodes: sc.nodes,
+			Links: links.Mean(), Hops: hops.Mean(),
+			FeasibleFrac: feas.Mean(), PairsPS: tp.Mean(), MeanFid: mf.Mean(),
+		})
+	}
+	return d
+}
+
+// Print writes the sweep table.
+func (d *TopoData) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Topology sweep — diameter circuit at F=%.2f, %.0f s horizon", d.TargetF, d.HorizonS))
+	fmt.Fprintf(w, "%-10s %6s %6s %5s %9s %9s %9s\n",
+		"topology", "nodes", "links", "hops", "feasible", "pairs/s", "mean F")
+	for _, p := range d.Points {
+		fmt.Fprintf(w, "%-10s %6d %6.1f %5.1f %9.2f %9.2f %9.3f\n",
+			p.Topology, p.Nodes, p.Links, p.Hops, p.FeasibleFrac, p.PairsPS, p.MeanFid)
+	}
+}

@@ -98,6 +98,35 @@ func (g *Graph) Link(a, b string) (hardware.LinkConfig, bool) {
 	return cfg, ok
 }
 
+// Nodes returns every node name in sorted order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighbors returns a node's adjacent nodes in sorted order.
+func (g *Graph) Neighbors(id string) []string {
+	out := make([]string, 0, len(g.links[id]))
+	for n := range g.links[id] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinkCount returns the number of (bidirectional) links.
+func (g *Graph) LinkCount() int {
+	total := 0
+	for _, nbrs := range g.links {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
 // ShortestPath runs Dijkstra with unit link costs (all links identical in
 // the paper's evaluation), breaking ties deterministically by node name.
 func (g *Graph) ShortestPath(src, dst string) ([]string, error) {

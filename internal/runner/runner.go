@@ -1,0 +1,133 @@
+// Package runner shards independent simulation replicas across a worker
+// pool. Every replica draws its RNG seed from the base seed and its own
+// index alone, and results are collected (or streamed) in replica order, so
+// aggregate output is bit-identical regardless of how many workers run or
+// how the scheduler interleaves them. This is the execution platform for
+// the experiment suite: figures fan their scenario grid × replica matrix
+// through Map, and future scaling work (process sharding, batching,
+// multi-backend) plugs in underneath without touching experiment code.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SeedStride separates per-replica seed streams. Replica seeds are
+// base*SeedStride + replica, so distinct bases give disjoint streams for
+// any replica count below the stride.
+const SeedStride = 7919
+
+// DeriveSeed returns the deterministic RNG seed for one replica of a run.
+func DeriveSeed(base int64, replica int) int64 {
+	return base*SeedStride + int64(replica)
+}
+
+// Options configure a parallel run.
+type Options struct {
+	// Workers is the pool size; 0 means runtime.NumCPU(). The value never
+	// affects results, only wall-clock time.
+	Workers int
+	// Seed is the base seed; replica i runs with DeriveSeed(Seed, i).
+	Seed int64
+	// Progress, when non-nil, is called after each replica completes with
+	// the number finished so far and the total. Calls are serialized.
+	Progress func(done, total int)
+	// Context, when non-nil, cancels the run: workers stop claiming new
+	// replicas once it is done and Run returns the context's error with
+	// the partial results (unclaimed slots hold zero values).
+	Context context.Context
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn for replicas 0..replicas-1 across the worker pool and
+// returns the results in replica order. fn must be self-contained: it
+// builds its own simulation from the seed it is handed and shares no
+// mutable state with other replicas.
+func Run[T any](o Options, replicas int, fn func(replica int, seed int64) T) ([]T, error) {
+	out := make([]T, replicas)
+	err := dispatch(o, replicas, func(i int) {
+		out[i] = fn(i, DeriveSeed(o.Seed, i))
+	})
+	return out, err
+}
+
+// Map runs fn over every job and returns the results in job order. The
+// seed handed to fn is derived from the job's index, so a given job list
+// and base seed always reproduce the same results.
+func Map[J, T any](o Options, jobs []J, fn func(job J, seed int64) T) ([]T, error) {
+	return Run(o, len(jobs), func(i int, seed int64) T {
+		return fn(jobs[i], seed)
+	})
+}
+
+// Stream executes fn for each replica and hands results to sink in strict
+// replica order as soon as the completed prefix grows, buffering
+// out-of-order completions. Streaming aggregators therefore observe the
+// exact same sequence for any worker count. sink runs under the runner's
+// lock and must not call back into the runner.
+func Stream[T any](o Options, replicas int, fn func(replica int, seed int64) T, sink func(replica int, v T)) error {
+	buf := make([]T, replicas)
+	ready := make([]bool, replicas)
+	next := 0
+	var mu sync.Mutex
+	return dispatch(o, replicas, func(i int) {
+		v := fn(i, DeriveSeed(o.Seed, i))
+		mu.Lock()
+		buf[i], ready[i] = v, true
+		for next < replicas && ready[next] {
+			sink(next, buf[next])
+			next++
+		}
+		mu.Unlock()
+	})
+}
+
+// dispatch is the shared pool: workers claim replica indices from an
+// atomic counter until the range is exhausted or the context fires.
+func dispatch(o Options, n int, work func(i int)) error {
+	ctx := o.Context
+	var claim atomic.Int64
+	done := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := o.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(claim.Add(1)) - 1
+				if i >= n || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
+				work(i)
+				if o.Progress != nil {
+					mu.Lock()
+					done++
+					o.Progress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -11,6 +11,35 @@
 //	vc.HandleHead(qnet.Handlers{OnPair: func(d qnet.Delivered) { ... }})
 //	vc.Submit(qnet.Request{ID: "r1", Type: qnet.Keep, NumPairs: 10})
 //	net.Run(10 * sim.Second)
+//
+// # Topologies
+//
+// Besides Chain and the paper's Dumbbell, generators build rings, stars,
+// grids and seeded Waxman random graphs, all with the same uniform
+// hardware. Diameter picks the farthest endpoint pair, so a scenario can
+// always ask for the topology's hardest circuit:
+//
+//	net := qnet.Grid(qnet.DefaultConfig(), 3, 3)   // 9 nodes, 12 links
+//	src, dst, hops := net.Diameter()               // corner to corner, 4 hops
+//	vc, err := net.Establish("vc1", src, dst, 0.8, nil)
+//
+// # Replicated experiments
+//
+// Independent replicas of a scenario only need distinct, reproducible
+// seeds — everything else is a pure function of Config:
+//
+//	for i := 0; i < 100; i++ {
+//		cfg := qnet.DefaultConfig()
+//		cfg.Seed = base*7919 + int64(i) // disjoint per-replica seed streams
+//		net := qnet.Ring(cfg, 6)
+//		// ... drive a circuit, record the replica's metric ...
+//	}
+//
+// Inside this repository the internal/runner package shards exactly this
+// pattern across a worker pool with order-stable aggregation, so figure
+// output is bit-identical for any worker count; the experiment suite in
+// internal/experiments (cmd/figures) runs every figure of the paper's
+// evaluation, plus a topology sweep, that way.
 package qnet
 
 import (

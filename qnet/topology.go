@@ -1,0 +1,206 @@
+package qnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The generators below complement Chain and Dumbbell: each builds and
+// starts a network whose shape experiments can sweep. Node names follow
+// the chain's "n<i>" convention so endpoint selection is uniform; Grid
+// numbers its nodes row-major. All generators are deterministic functions
+// of their arguments (RandomGraph draws from cfg.Seed).
+
+// Ring builds a started cycle n0 — n1 — … — n{k−1} — n0. k must be ≥ 3.
+func Ring(cfg Config, k int) *Network {
+	if k < 3 {
+		panic("qnet: Ring needs at least 3 nodes")
+	}
+	n := New(cfg)
+	for i := 0; i < k; i++ {
+		n.AddNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < k; i++ {
+		n.Connect(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", (i+1)%k))
+	}
+	n.Start()
+	return n
+}
+
+// Star builds a started hub-and-spoke network of k nodes: n0 is the hub,
+// n1 … n{k−1} are leaves. k must be ≥ 2. Any leaf-to-leaf circuit is two
+// hops through the hub, which concentrates swap load on one node.
+func Star(cfg Config, k int) *Network {
+	if k < 2 {
+		panic("qnet: Star needs at least 2 nodes")
+	}
+	n := New(cfg)
+	for i := 0; i < k; i++ {
+		n.AddNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 1; i < k; i++ {
+		n.Connect("n0", fmt.Sprintf("n%d", i))
+	}
+	n.Start()
+	return n
+}
+
+// Grid builds a started rows×cols lattice with nearest-neighbour links.
+// Nodes are numbered row-major: node (r,c) is n{r*cols+c}, so n0 and
+// n{rows*cols−1} are opposite corners.
+func Grid(cfg Config, rows, cols int) *Network {
+	if rows < 1 || cols < 1 {
+		panic("qnet: Grid needs positive dimensions")
+	}
+	n := New(cfg)
+	id := func(r, c int) string { return fmt.Sprintf("n%d", r*cols+c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n.AddNode(id(r, c))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				n.Connect(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				n.Connect(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	n.Start()
+	return n
+}
+
+// RandomGraph builds a started k-node Waxman random graph: nodes are
+// placed uniformly in the unit square and each pair (i, j) is linked with
+// probability alpha·exp(−d(i,j)/(beta·L)), where L is the largest
+// pairwise distance. Non-positive alpha or beta fall back to the
+// customary 0.4. The graph is stitched to a single connected component by
+// bridging each stray component to the main one at the closest node pair,
+// so every circuit request has a path. The layout and edges are a
+// deterministic function of cfg.Seed.
+func RandomGraph(cfg Config, k int, alpha, beta float64) *Network {
+	if k < 1 {
+		panic("qnet: RandomGraph needs at least 1 node")
+	}
+	if alpha <= 0 {
+		alpha = 0.4
+	}
+	if beta <= 0 {
+		beta = 0.4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	xs := make([]float64, k)
+	ys := make([]float64, k)
+	for i := 0; i < k; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+	}
+	maxD := 0.0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if d := dist(i, j); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD == 0 {
+		maxD = 1 // coincident points: probability reduces to alpha
+	}
+
+	n := New(cfg)
+	for i := 0; i < k; i++ {
+		n.AddNode(fmt.Sprintf("n%d", i))
+	}
+	// Union-find over node indices to track components while sampling.
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	connect := func(i, j int) {
+		n.Connect(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", j))
+		parent[find(i)] = find(j)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if rng.Float64() < alpha*math.Exp(-dist(i, j)/(beta*maxD)) {
+				connect(i, j)
+			}
+		}
+	}
+	// Bridge any remaining components into the one containing n0, always
+	// picking the geometrically closest cross pair (deterministic).
+	for {
+		root := find(0)
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < k; i++ {
+			if find(i) != root {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if find(j) == root {
+					continue
+				}
+				if d := dist(i, j); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		connect(bi, bj)
+	}
+	n.Start()
+	return n
+}
+
+// NodeIDs returns every node name in sorted order.
+func (n *Network) NodeIDs() []string { return n.Graph.Nodes() }
+
+// LinkCount returns the number of (bidirectional) links.
+func (n *Network) LinkCount() int { return n.Graph.LinkCount() }
+
+// Diameter returns a farthest node pair by hop count, with the hop count,
+// scanning sources and destinations in sorted name order so the choice is
+// deterministic. It is the natural "hardest" circuit to ask of a topology.
+// Links have unit cost, so one BFS per source suffices (O(V·(V+E))).
+func (n *Network) Diameter() (src, dst string, hops int) {
+	ids := n.NodeIDs()
+	for _, a := range ids {
+		dist := map[string]int{a: 0}
+		queue := []string{a}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range n.Graph.Neighbors(cur) {
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = dist[cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, b := range ids {
+			if b <= a {
+				continue
+			}
+			if d, ok := dist[b]; ok && d > hops {
+				src, dst, hops = a, b, d
+			}
+		}
+	}
+	return src, dst, hops
+}

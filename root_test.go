@@ -1,0 +1,56 @@
+package qnp
+
+import (
+	"testing"
+
+	"qnp/qnet"
+)
+
+// The root package holds the benchmark harness; these tests keep the
+// harness's own helpers honest so a broken bench shows up in `go test`
+// rather than only when someone next runs -bench.
+
+// TestBenchOptsSeeds checks successive bench iterations get distinct,
+// deterministic seeds.
+func TestBenchOptsSeeds(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		o := benchOpts(i)
+		if !o.Quick {
+			t.Fatal("bench options must be quick-sized")
+		}
+		if seen[o.Seed] {
+			t.Fatalf("duplicate bench seed %d at iteration %d", o.Seed, i)
+		}
+		seen[o.Seed] = true
+	}
+	if got := benchOpts(3).Seed; got != 3*7919+1 {
+		t.Errorf("benchOpts(3).Seed = %d, want %d", got, 3*7919+1)
+	}
+}
+
+// TestDeliverPairs exercises the ablation benches' workhorse end to end:
+// a 3-node circuit must actually deliver the pairs and report a positive,
+// reproducible simulated duration.
+func TestDeliverPairs(t *testing.T) {
+	const pairs = 5
+	simS := deliverPairs(1, qnet.CutoffLong, pairs)
+	if simS <= 0 {
+		t.Fatalf("simulated duration %v", simS)
+	}
+	if again := deliverPairs(1, qnet.CutoffLong, pairs); again != simS {
+		t.Errorf("same seed gave %v then %v simulated seconds", simS, again)
+	}
+	// The no-cutoff ablation must also run (it may be slower, not stuck).
+	if s := deliverPairs(1, qnet.CutoffNone, 2); s <= 0 {
+		t.Errorf("no-cutoff run reported %v simulated seconds", s)
+	}
+}
+
+// TestDiscardWriter keeps the io sink used by the table bench valid.
+func TestDiscardWriter(t *testing.T) {
+	n, err := discard{}.Write(make([]byte, 42))
+	if n != 42 || err != nil {
+		t.Errorf("discard.Write = (%d, %v)", n, err)
+	}
+}
