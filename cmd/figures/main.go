@@ -1,14 +1,18 @@
 // Command figures regenerates the paper's evaluation tables and figures
-// (§5) on this repository's simulator and prints the series as text tables.
+// (§5) on this repository's simulator and prints the series as text tables,
+// plus the scenario-API extensions that go beyond the paper: the topology
+// sweep, star hub contention, grid/Waxman path diversity, and the EER
+// admission-control saturation study.
 //
 // Usage:
 //
 //	figures -fig all            # everything, default size
 //	figures -fig 8 -runs 3      # one figure
 //	figures -fig 10ab -quick    # smoke-test size
-//	figures -fig topo -progress # topology sweep with a progress ticker
+//	figures -fig hub -progress  # hub contention with a progress ticker
 //
-// Figure IDs: 5, 8, 9, 10ab, 10c, 11, tables, topo, all.
+// Figure IDs: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer,
+// all.
 //
 // Replicas fan out across a worker pool (-workers, default NumCPU); the
 // per-replica seeding makes every figure bit-identical for any worker
@@ -28,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer, all")
 	runs := flag.Int("runs", 0, "independent simulation runs per point (0 = default)")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -106,5 +110,14 @@ func main() {
 	}
 	if want("topo") {
 		run("topo", func() interface{ Print(io.Writer) } { return experiments.TopologySweep(o) })
+	}
+	if want("hub") {
+		run("hub", func() interface{ Print(io.Writer) } { return experiments.HubContention(o) })
+	}
+	if want("diversity") {
+		run("diversity", func() interface{ Print(io.Writer) } { return experiments.PathDiversity(o) })
+	}
+	if want("eer") {
+		run("eer", func() interface{ Print(io.Writer) } { return experiments.EERSaturation(o) })
 	}
 }

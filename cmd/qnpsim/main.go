@@ -1,16 +1,21 @@
 // Command qnpsim runs an ad-hoc QNP scenario from flags: any generated
-// topology (chain, dumbbell, ring, star, grid, Waxman random graph), one
-// circuit, one request, and a summary of what the network delivered.
+// topology (chain, dumbbell, ring, star, grid, Waxman random graph), one or
+// several concurrent circuits, a pluggable workload, and a unified metrics
+// summary of what the network delivered.
 //
 // Examples:
 //
 //	qnpsim -nodes 4 -fidelity 0.85 -pairs 20
 //	qnpsim -topology dumbbell -src A0 -dst B1 -fidelity 0.8 -pairs 10 -cutoff short
-//	qnpsim -topology grid -rows 3 -cols 3 -fidelity 0.8 -pairs 5
-//	qnpsim -topology random -nodes 10 -seed 7 -pairs 5
+//	qnpsim -topology grid -rows 3 -cols 3 -circuits 3 -workload continuous -horizon 10
+//	qnpsim -topology star -nodes 9 -circuits 4 -workload interval -interval 0.5
+//	qnpsim -topology random -nodes 10 -seed 7 -pairs 5 -replicas 20
 //	qnpsim -nearterm -nodes 3 -fidelity 0.5 -pairs 5
 //
-// When -src/-dst are omitted the circuit spans the topology's diameter.
+// With -circuits 1 and no -src/-dst the circuit spans the topology's
+// diameter; -circuits k > 1 draws k distinct random endpoint pairs.
+// -replicas R fans R independent seeded replicas across a worker pool and
+// reports aggregate means.
 package main
 
 import (
@@ -19,7 +24,6 @@ import (
 	"log"
 	"os"
 
-	"qnp/internal/routing"
 	"qnp/internal/sim"
 	"qnp/qnet"
 )
@@ -33,68 +37,78 @@ func main() {
 	beta := flag.Float64("beta", 0.4, "Waxman distance decay (random topology)")
 	src := flag.String("src", "", "source end-node (default: a diameter endpoint of the topology)")
 	dst := flag.String("dst", "", "destination end-node (default: the matching diameter endpoint)")
+	circuits := flag.Int("circuits", 1, "concurrent circuits (>1 draws random endpoint pairs)")
 	fidelity := flag.Float64("fidelity", 0.85, "end-to-end fidelity target")
-	pairs := flag.Int("pairs", 10, "number of pairs to request")
+	workload := flag.String("workload", "batch", "workload per circuit: batch, continuous, interval, poisson, onoff, measure")
+	pairs := flag.Int("pairs", 10, "pairs per request (batch, interval, poisson, onoff, measure)")
+	interval := flag.Float64("interval", 1, "request inter-arrival seconds (interval, poisson, onoff)")
 	cutoff := flag.String("cutoff", "long", "cutoff policy: long, short, none")
+	maxEER := flag.Float64("maxeer", 0, "circuit EER allocation for admission control (0 = off)")
 	nearterm := flag.Bool("nearterm", false, "near-term hardware (25 km telecom links, carbon storage)")
 	horizon := flag.Float64("horizon", 300, "max simulated seconds")
 	seed := flag.Int64("seed", 1, "random seed")
-	verbose := flag.Bool("v", false, "log every delivery")
+	replicas := flag.Int("replicas", 1, "independent replicas (means reported when > 1)")
+	workers := flag.Int("workers", 0, "replica worker pool size (0 = NumCPU)")
+	verbose := flag.Bool("v", false, "log every delivery (single replica only)")
 	flag.Parse()
+
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(2)
+	}
 
 	cfg := qnet.DefaultConfig()
 	if *nearterm {
 		cfg = qnet.NearTermConfig(25000)
 	}
 	cfg.Seed = *seed
-
-	die := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
-		os.Exit(2)
+	if *maxEER > 0 {
+		cfg.EnforceEER = true
 	}
-	var net *qnet.Network
+
+	var topo qnet.TopologySpec
+	nodeCount := *nodes
 	switch *topology {
 	case "chain":
 		if *nodes < 2 {
 			die("chain needs -nodes ≥ 2 (got %d)", *nodes)
 		}
-		net = qnet.Chain(cfg, *nodes)
+		topo = qnet.ChainTopo(*nodes)
 	case "dumbbell":
-		net = qnet.Dumbbell(cfg)
+		topo = qnet.DumbbellTopo()
+		nodeCount = 6
 	case "ring":
 		if *nodes < 3 {
 			die("ring needs -nodes ≥ 3 (got %d)", *nodes)
 		}
-		net = qnet.Ring(cfg, *nodes)
+		topo = qnet.RingTopo(*nodes)
 	case "star":
 		if *nodes < 2 {
 			die("star needs -nodes ≥ 2 (got %d)", *nodes)
 		}
-		net = qnet.Star(cfg, *nodes)
+		topo = qnet.StarTopo(*nodes)
 	case "grid":
 		if *rows < 1 || *cols < 1 || *rows**cols < 2 {
 			die("grid needs positive -rows/-cols spanning ≥ 2 nodes (got %dx%d)", *rows, *cols)
 		}
-		net = qnet.Grid(cfg, *rows, *cols)
+		topo = qnet.GridTopo(*rows, *cols)
+		nodeCount = *rows * *cols
 	case "random":
 		if *nodes < 2 {
 			die("random needs -nodes ≥ 2 (got %d)", *nodes)
 		}
-		net = qnet.RandomGraph(cfg, *nodes, *alpha, *beta)
+		topo = qnet.WaxmanTopo(*nodes, *alpha, *beta)
 	default:
 		die("unknown topology %q", *topology)
 	}
-	if *src == "" || *dst == "" {
-		a, b, _ := net.Diameter()
-		if *src == "" {
-			*src = a
-		}
-		if *dst == "" {
-			*dst = b
-		}
+	// RandomPairs clamps to the pairs the topology has; mirror that here so
+	// circuit IDs (and WaitFor below) match the actual expansion.
+	if max := nodeCount * (nodeCount - 1) / 2; *circuits > max {
+		fmt.Fprintf(os.Stderr, "note: only %d distinct endpoint pairs exist; running %d circuits\n", max, max)
+		*circuits = max
 	}
 
-	var policy routing.CutoffPolicy
+	var policy qnet.CutoffPolicy
 	switch *cutoff {
 	case "long":
 		policy = qnet.CutoffLong
@@ -103,60 +117,140 @@ func main() {
 	case "none":
 		policy = qnet.CutoffNone
 	default:
-		fmt.Fprintf(os.Stderr, "unknown cutoff policy %q\n", *cutoff)
-		os.Exit(2)
+		die("unknown cutoff policy %q", *cutoff)
 	}
 
-	vc, err := net.Establish("cli", *src, *dst, *fidelity, &qnet.CircuitOptions{Policy: policy})
+	iv := sim.DurationFromSeconds(*interval)
+	var wl qnet.Workload
+	switch *workload {
+	case "batch":
+		wl = qnet.KeepBatch{Count: 1, Pairs: *pairs}
+	case "continuous":
+		wl = qnet.ContinuousKeep{}
+	case "interval":
+		wl = qnet.IntervalKeep{Interval: iv, Pairs: *pairs}
+	case "poisson":
+		wl = qnet.PoissonKeep{Mean: iv, Pairs: *pairs}
+	case "onoff":
+		wl = qnet.OnOffKeep{On: 5 * iv, Off: 5 * iv, Interval: iv, Pairs: *pairs}
+	case "measure":
+		wl = qnet.MeasureStream{Pairs: *pairs}
+	default:
+		die("unknown workload %q", *workload)
+	}
+
+	spec := qnet.CircuitSpec{
+		ID: "cli", Fidelity: *fidelity, Policy: policy, MaxEER: *maxEER,
+		Workload: wl, RecordFidelity: true,
+	}
+	switch {
+	case *circuits > 1:
+		spec.Select = qnet.RandomPairs(*circuits)
+		spec.Optional = true
+	case *src != "" && *dst != "":
+		spec.Src, spec.Dst = *src, *dst
+	case *src != "" || *dst != "":
+		die("-src and -dst must be given together")
+	default:
+		spec.Select = qnet.DiameterPair()
+	}
+	if *verbose && *replicas == 1 {
+		delivered := 0
+		spec.Head = qnet.Handlers{
+			AutoConsume: true,
+			OnPair: func(d qnet.Delivered) {
+				delivered++
+				fmt.Printf("  t=%8.3fs  circuit %-8s pair %3d  %v\n", d.At.Seconds(), d.Circuit, delivered, d.State)
+			},
+		}
+	}
+
+	sc := qnet.Scenario{
+		Name:     "qnpsim",
+		Config:   cfg,
+		Topology: topo,
+		Circuits: []qnet.CircuitSpec{spec},
+		Horizon:  sim.DurationFromSeconds(*horizon),
+	}
+	// Batch workloads are finite: stop as soon as their requests complete.
+	if *workload == "batch" || *workload == "measure" {
+		if *circuits <= 1 {
+			sc.WaitFor = []qnet.CircuitID{"cli"}
+		} else {
+			for j := 0; j < *circuits; j++ {
+				sc.WaitFor = append(sc.WaitFor, qnet.CircuitID(fmt.Sprintf("cli-%d", j)))
+			}
+		}
+	}
+
+	if *replicas > 1 {
+		ms, err := sc.RunReplicated(qnet.ReplicaOptions{Replicas: *replicas, Workers: *workers, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := 0
+		for _, m := range ms {
+			if m != nil && m.Err == "" {
+				ok++
+			}
+		}
+		fmt.Printf("%d/%d replicas ran (base seed %d, per-replica seeds disjoint)\n", ok, *replicas, *seed)
+		fmt.Printf("mean aggregate EER %.2f pairs/s\n", qnet.MeanAggregateEER(ms))
+		for _, cm := range ms[0].Circuits {
+			// Random topologies and random endpoint selectors redraw per
+			// replica seed; only name endpoints when every replica agrees.
+			where := fmt.Sprintf("%s→%s", cm.Src, cm.Dst)
+			for _, m := range ms {
+				if m == nil || m.Err != "" {
+					continue
+				}
+				if c := m.Circuit(cm.ID); c != nil && (c.Src != cm.Src || c.Dst != cm.Dst) {
+					where = "(endpoints vary per replica)"
+					break
+				}
+			}
+			fmt.Printf("  circuit %-10s %-32s mean EER %.2f pairs/s\n",
+				cm.ID, where, qnet.MeanCircuitEER(ms, cm.ID))
+		}
+		return
+	}
+
+	res, err := sc.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("circuit %s→%s: path=%v link-fidelity=%.3f cutoff=%v LPR=%.1f/s\n",
-		*src, *dst, vc.Plan.Path, vc.Plan.LinkFidelity, vc.Plan.Cutoff, vc.Plan.MaxLPR)
-
-	delivered := 0
-	var fidSum float64
-	done := false
-	start := net.Sim.Now()
-	vc.HandleHead(qnet.Handlers{
-		AutoConsume: true,
-		OnPair: func(d qnet.Delivered) {
-			f := d.Pair.FidelityWith(d.At, d.State)
-			delivered++
-			fidSum += f
-			if *verbose {
-				fmt.Printf("  t=%8.3fs  pair %3d  %v  F=%.3f\n", d.At.Sub(start).Seconds(), delivered, d.State, f)
-			}
-		},
-		OnComplete: func(qnet.RequestID) { done = true },
-	})
-	vc.HandleTail(qnet.Handlers{AutoConsume: true})
-
-	if err := vc.Submit(qnet.Request{ID: "r", Type: qnet.Keep, NumPairs: *pairs}); err != nil {
-		log.Fatal(err)
-	}
-	deadline := start.Add(sim.DurationFromSeconds(*horizon))
-	for !done && net.Sim.Now() < deadline {
-		if !net.Sim.Step() {
-			break
+	m := res.Metrics
+	fmt.Printf("%s: %d nodes, %d links; horizon %.0f s (ran %.3f s of virtual time)\n",
+		*topology, m.Nodes, m.Links, *horizon, m.End.Sub(m.Start).Seconds())
+	totalDelivered := 0
+	mid := map[string]bool{}
+	for _, cm := range m.Circuits {
+		if !cm.Established {
+			fmt.Printf("circuit %s %s→%s: NOT ESTABLISHED (%s)\n", cm.ID, cm.Src, cm.Dst, cm.Err)
+			continue
+		}
+		fmt.Printf("circuit %s %s→%s: path=%v link-fidelity=%.3f cutoff=%v LPR=%.1f/s\n",
+			cm.ID, cm.Src, cm.Dst, cm.Path, cm.Plan.LinkFidelity, cm.Plan.Cutoff, cm.Plan.MaxLPR)
+		status := "all requests complete"
+		if !cm.AllComplete() {
+			status = "open/incomplete requests at horizon"
+		}
+		fmt.Printf("  delivered %d pairs (%.2f/s), mean fidelity %.3f; %d requests, %d rejected, %d expiries; %s\n",
+			cm.Delivered, cm.EER(m.Start, m.End), cm.MeanFidelity(),
+			len(cm.Requests), cm.Rejected, cm.Expired, status)
+		totalDelivered += cm.Delivered
+		for _, id := range cm.Path[1 : len(cm.Path)-1] {
+			mid[id] = true
 		}
 	}
-	elapsed := net.Sim.Now().Sub(start).Seconds()
-	if delivered == 0 {
+	var swaps, discards uint64
+	for id := range mid {
+		swaps += m.NodeStats[id].Swaps
+		discards += m.NodeStats[id].Discards
+	}
+	if totalDelivered == 0 {
 		log.Fatalf("no pairs delivered within %.0f simulated seconds", *horizon)
 	}
-	fmt.Printf("delivered %d/%d pairs in %.3f simulated seconds (%.2f pairs/s), mean fidelity %.3f\n",
-		delivered, *pairs, elapsed, float64(delivered)/elapsed, fidSum/float64(delivered))
-	if !done {
-		fmt.Println("warning: request did not complete before the horizon")
-	}
-
-	var swaps, discards uint64
-	for _, id := range vc.Plan.Path[1 : len(vc.Plan.Path)-1] {
-		st := net.Node(id).Stats()
-		swaps += st.Swaps
-		discards += st.Discards
-	}
-	fmt.Printf("intermediate nodes: %d swaps, %d cutoff discards; classical messages: %d\n",
-		swaps, discards, net.Classical.Stats().MessagesSent)
+	fmt.Printf("totals: %d pairs (%.2f/s aggregate); intermediate nodes: %d swaps, %d cutoff discards; classical messages: %d\n",
+		m.TotalDelivered(), m.AggregateEER(), swaps, discards, m.ClassicalMessages)
 }

@@ -1,5 +1,6 @@
 // Congestion: a compressed rerun of the paper's Fig. 8(c)/(f) story on the
-// Fig. 7 dumbbell — four circuits fighting over the MA-MB bottleneck.
+// Fig. 7 dumbbell — four circuits fighting over the MA-MB bottleneck,
+// declared as one multi-circuit Scenario per cutoff policy.
 //
 // With the long cutoff, pairs park in the bottleneck's two memory qubits
 // waiting for partners that belong to other circuits: the "quantum
@@ -16,40 +17,45 @@ import (
 )
 
 func run(policy qnet.CutoffPolicy, name string) {
-	cfg := qnet.DefaultConfig()
-	net := qnet.Dumbbell(cfg)
 	endpoints := [][2]string{{"A0", "B0"}, {"A1", "B1"}, {"A0", "B1"}, {"A1", "B0"}}
 	const pairsEach = 20
 
-	completed := 0
-	start := net.Sim.Now()
-	var lastDone sim.Time
+	specs := make([]qnet.CircuitSpec, len(endpoints))
+	waitFor := make([]qnet.CircuitID, len(endpoints))
 	for i, ep := range endpoints {
-		vc, err := net.Establish(qnet.CircuitID(fmt.Sprintf("c%d", i)), ep[0], ep[1], 0.85,
-			&qnet.CircuitOptions{Policy: policy})
-		if err != nil {
-			log.Fatal(err)
+		id := qnet.CircuitID(fmt.Sprintf("c%d", i))
+		specs[i] = qnet.CircuitSpec{
+			ID: id, Src: ep[0], Dst: ep[1], Fidelity: 0.85, Policy: policy,
+			Workload: qnet.KeepBatch{Count: 1, Pairs: pairsEach},
 		}
-		vc.HandleTail(qnet.Handlers{AutoConsume: true})
-		vc.HandleHead(qnet.Handlers{
-			AutoConsume: true,
-			OnComplete: func(qnet.RequestID) {
-				completed++
-				lastDone = net.Sim.Now()
-			},
-		})
-		if err := vc.Submit(qnet.Request{ID: "r", Type: qnet.Keep, NumPairs: pairsEach}); err != nil {
-			log.Fatal(err)
+		waitFor[i] = id
+	}
+	res, err := qnet.Scenario{
+		Name:     "congestion-" + name,
+		Topology: qnet.DumbbellTopo(),
+		Circuits: specs,
+		Horizon:  300 * sim.Second,
+		WaitFor:  waitFor,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	completed := 0
+	var lastDone sim.Time
+	for _, cm := range m.Circuits {
+		if cm.AllComplete() {
+			completed++
+			if t := cm.Requests[0].CompletedAt; t > lastDone {
+				lastDone = t
+			}
 		}
 	}
-	net.Run(300 * sim.Second)
-	discards := uint64(0)
-	for _, id := range []string{"MA", "MB"} {
-		discards += net.Node(id).Stats().Discards
-	}
+	discards := m.NodeStats["MA"].Discards + m.NodeStats["MB"].Discards
 	if completed == len(endpoints) {
 		fmt.Printf("%-12s: all %d circuits finished %d pairs in %.1f s (bottleneck discards: %d)\n",
-			name, len(endpoints), pairsEach, lastDone.Sub(start).Seconds(), discards)
+			name, len(endpoints), pairsEach, lastDone.Sub(m.Start).Seconds(), discards)
 	} else {
 		fmt.Printf("%-12s: only %d/%d circuits finished within 300 s — congestion collapse (bottleneck discards: %d)\n",
 			name, completed, len(endpoints), discards)

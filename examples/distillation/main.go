@@ -4,7 +4,9 @@
 // A QNP circuit runs between two nodes and feeds its delivered pairs to a
 // DEJMPS distillation module, which consumes pairs two at a time and, on
 // success, emits one higher-fidelity pair. The example compares the raw
-// circuit fidelity with the distilled fidelity and reports the yield.
+// circuit fidelity with the distilled fidelity and reports the yield. The
+// circuit and workload are a Scenario; the distillation module is a custom
+// head-end handler holding every other pair.
 package main
 
 import (
@@ -19,19 +21,12 @@ import (
 
 func main() {
 	const rawPairs = 120
-	net := qnet.Chain(qnet.DefaultConfig(), 4)
 	phi := quantum.PhiPlus
-	// Ask for a deliberately modest fidelity: distillation exists to buy
-	// back what long paths lose.
-	vc, err := net.Establish("dist", "n0", "n3", 0.75, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
 
+	var net *qnet.Network
 	var hold *device.Pair
 	var rawFids, distFids []float64
 	attempts, successes := 0, 0
-	params := net.Config.Params
 
 	consume := func(p *device.Pair) {
 		for s := 0; s < 2; s++ {
@@ -40,44 +35,57 @@ func main() {
 			}
 		}
 	}
-	vc.HandleTail(qnet.Handlers{AutoConsume: true})
-	vc.HandleHead(qnet.Handlers{
-		OnPair: func(d qnet.Delivered) {
-			rawFids = append(rawFids, d.Pair.FidelityWith(d.At, d.State))
-			// Rotate into the canonical Φ+ frame so DEJMPS's success rule
-			// applies, using the network-declared state.
-			dd := d.State ^ quantum.PhiPlus
-			d.Pair.ApplyPauli(0, dd.XBit(), dd.ZBit())
-			// Bilateral Pauli twirl: the same random Pauli on both halves
-			// preserves the Φ+ component and kills coherences between the
-			// error components, pushing the state toward Bell-diagonal —
-			// the form DEJMPS distills best. Locally free.
-			tw := uint8(net.Sim.Rand().Intn(4))
-			d.Pair.ApplyPauli(0, tw&1, tw>>1)
-			d.Pair.ApplyPauli(1, tw&1, tw>>1)
-			if hold == nil {
-				hold = d.Pair
-				return
-			}
-			// Two pairs between the same end-points: one DEJMPS round.
-			attempts++
-			res := quantum.Distill(hold.StateAt(d.At), d.Pair.StateAt(d.At), params.SwapConfig(), net.Sim.Rand())
-			if res.OK {
-				successes++
-				distFids = append(distFids, quantum.Fidelity(res.Rho, quantum.PhiPlus))
-			}
-			consume(hold)
-			consume(d.Pair)
-			hold = nil
-		},
-	})
 
-	if err := vc.Submit(qnet.Request{
-		ID: "d", Type: qnet.Keep, NumPairs: rawPairs, FinalState: &phi,
-	}); err != nil {
+	// Ask for a deliberately modest fidelity: distillation exists to buy
+	// back what long paths lose.
+	_, err := qnet.Scenario{
+		Name:     "distillation",
+		Topology: qnet.ChainTopo(4),
+		Setup:    func(n *qnet.Network) { net = n },
+		Circuits: []qnet.CircuitSpec{{
+			ID: "dist", Src: "n0", Dst: "n3", Fidelity: 0.75,
+			Workload: qnet.Batch{Requests: []qnet.Request{{
+				ID: "d", Type: qnet.Keep, NumPairs: rawPairs, FinalState: &phi,
+			}}},
+			Head: qnet.Handlers{
+				OnPair: func(d qnet.Delivered) {
+					params := net.Config.Params
+					rawFids = append(rawFids, d.Pair.FidelityWith(d.At, d.State))
+					// Rotate into the canonical Φ+ frame so DEJMPS's success
+					// rule applies, using the network-declared state.
+					dd := d.State ^ quantum.PhiPlus
+					d.Pair.ApplyPauli(0, dd.XBit(), dd.ZBit())
+					// Bilateral Pauli twirl: the same random Pauli on both
+					// halves preserves the Φ+ component and kills coherences
+					// between the error components, pushing the state toward
+					// Bell-diagonal — the form DEJMPS distills best. Locally
+					// free.
+					tw := uint8(net.Sim.Rand().Intn(4))
+					d.Pair.ApplyPauli(0, tw&1, tw>>1)
+					d.Pair.ApplyPauli(1, tw&1, tw>>1)
+					if hold == nil {
+						hold = d.Pair
+						return
+					}
+					// Two pairs between the same end-points: one DEJMPS round.
+					attempts++
+					r := quantum.Distill(hold.StateAt(d.At), d.Pair.StateAt(d.At), params.SwapConfig(), net.Sim.Rand())
+					if r.OK {
+						successes++
+						distFids = append(distFids, quantum.Fidelity(r.Rho, quantum.PhiPlus))
+					}
+					consume(hold)
+					consume(d.Pair)
+					hold = nil
+				},
+			},
+		}},
+		Horizon: 240 * sim.Second,
+		WaitFor: []qnet.CircuitID{"dist"},
+	}.Run()
+	if err != nil {
 		log.Fatal(err)
 	}
-	net.Run(240 * sim.Second)
 
 	if len(distFids) == 0 {
 		log.Fatal("no distillation successes")

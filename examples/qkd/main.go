@@ -5,7 +5,9 @@
 // it becomes available (minimising decoherence), in a locally chosen random
 // basis. After tracking confirms each pair, the bases are sifted over the
 // classical channel: matching-basis rounds become key bits, and the
-// quantum bit error rate (QBER) bounds the eavesdropper.
+// quantum bit error rate (QBER) bounds the eavesdropper. The circuit and
+// workload are a Scenario; the early-measurement protocol runs in custom
+// handlers at both ends.
 package main
 
 import (
@@ -28,12 +30,6 @@ type round struct {
 
 func main() {
 	const pairs = 200
-	net := qnet.Chain(qnet.DefaultConfig(), 4) // two repeaters between the ends
-	vc, err := net.Establish("qkd", "n0", "n3", 0.9, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("QKD circuit: path=%v link-fidelity=%.3f\n", vc.Plan.Path, vc.Plan.LinkFidelity)
 
 	// Local basis choices are private randomness, separate from the
 	// simulation's physics stream.
@@ -47,6 +43,7 @@ func main() {
 	alice := make(map[linklayer.Correlator]*round)
 	bob := make(map[linklayer.Correlator]*round)
 
+	var net *qnet.Network
 	measureEarly := func(node string, rng *rand.Rand, pending map[linklayer.Correlator]*round) func(qnet.Delivered) {
 		return func(d qnet.Delivered) {
 			r := &round{basis: quantum.Basis(rng.Intn(2) + 1)} // X or Y basis
@@ -67,19 +64,34 @@ func main() {
 			}
 		}
 	}
-	vc.HandleHead(qnet.Handlers{
-		OnEarlyPair: measureEarly("n0", aliceRng, alicePending),
-		OnPair:      confirm(alicePending, alice),
-	})
-	vc.HandleTail(qnet.Handlers{
-		OnEarlyPair: measureEarly("n3", bobRng, bobPending),
-		OnPair:      confirm(bobPending, bob),
-	})
 
-	if err := vc.Submit(qnet.Request{ID: "key", Type: qnet.Early, NumPairs: pairs}); err != nil {
+	res, err := qnet.Scenario{
+		Name:     "qkd",
+		Topology: qnet.ChainTopo(4), // two repeaters between the ends
+		Setup:    func(n *qnet.Network) { net = n },
+		Circuits: []qnet.CircuitSpec{{
+			ID: "qkd", Src: "n0", Dst: "n3", Fidelity: 0.9,
+			Workload: qnet.Batch{Requests: []qnet.Request{{
+				ID: "key", Type: qnet.Early, NumPairs: pairs,
+			}}},
+			Head: qnet.Handlers{
+				OnEarlyPair: measureEarly("n0", aliceRng, alicePending),
+				OnPair:      confirm(alicePending, alice),
+			},
+			Tail: qnet.Handlers{
+				OnEarlyPair: measureEarly("n3", bobRng, bobPending),
+				OnPair:      confirm(bobPending, bob),
+			},
+		}},
+		Horizon: 120 * sim.Second,
+		WaitFor: []qnet.CircuitID{"qkd"},
+	}.Run()
+	if err != nil {
 		log.Fatal(err)
 	}
-	net.Run(120 * sim.Second)
+	cm := res.Metrics.Circuit("qkd")
+	fmt.Printf("QKD circuit: path=%v link-fidelity=%.3f; %d early hand-offs, %d confirmed\n",
+		cm.Path, cm.Plan.LinkFidelity, cm.EarlyDelivered, cm.Delivered)
 
 	// Sifting: keep rounds where both confirmed and bases matched. The
 	// expected correlation depends on the delivered Bell state: in the X

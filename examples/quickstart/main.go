@@ -1,10 +1,11 @@
 // Quickstart: generate end-to-end entangled pairs across a three-node
-// quantum network (Alice — repeater — Bob).
+// quantum network (Alice — repeater — Bob), declared as a Scenario.
 //
-// The example builds the full stack — NV-centre hardware model, link layer
+// The scenario builds the full stack — NV-centre hardware model, link layer
 // entanglement generation, the Quantum Network Protocol data plane, routing
 // controller and signalling — asks for five pairs at end-to-end fidelity
-// 0.8, and prints each delivery with its Bell state and exact fidelity.
+// 0.8, and reads each delivery's Bell state and exact fidelity back from
+// the unified metrics.
 package main
 
 import (
@@ -17,40 +18,34 @@ import (
 
 func main() {
 	// A linear network: n0 (Alice) — n1 (repeater) — n2 (Bob), with the
-	// paper's idealised NV parameters and 2 m lab fibre.
-	net := qnet.Chain(qnet.DefaultConfig(), 3)
-
-	// Plan and install a virtual circuit for end-to-end fidelity 0.8. The
-	// routing controller picks the per-link fidelity and the cutoff timer;
-	// the signalling protocol installs the routing-table entries.
-	vc, err := net.Establish("quickstart", "n0", "n2", 0.8, nil)
+	// paper's idealised NV parameters and 2 m lab fibre. The routing
+	// controller picks the per-link fidelity and the cutoff timer; the
+	// signalling protocol installs the circuit; the workload submits one
+	// five-pair KEEP request the moment traffic opens.
+	res, err := qnet.Scenario{
+		Name:     "quickstart",
+		Topology: qnet.ChainTopo(3),
+		Circuits: []qnet.CircuitSpec{{
+			ID: "quickstart", Src: "n0", Dst: "n2", Fidelity: 0.8,
+			Workload:       qnet.KeepBatch{Count: 1, Pairs: 5},
+			RecordFidelity: true,
+		}},
+		Horizon: 30 * sim.Second,
+		WaitFor: []qnet.CircuitID{"quickstart"},
+	}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	cm := res.Metrics.Circuit("quickstart")
 	fmt.Printf("circuit installed: path=%v link-fidelity=%.3f cutoff=%v\n",
-		vc.Plan.Path, vc.Plan.LinkFidelity, vc.Plan.Cutoff)
-
-	// Alice (the head-end) receives pairs; both ends consume automatically.
-	done := false
-	vc.HandleHead(qnet.Handlers{
-		AutoConsume: true,
-		OnPair: func(d qnet.Delivered) {
-			f := d.Pair.FidelityWith(d.At, d.State)
-			fmt.Printf("pair %d at t=%v: Bell state %v, fidelity %.3f\n",
-				d.Seq+1, d.At, d.State, f)
-		},
-		OnComplete: func(id qnet.RequestID) {
-			fmt.Printf("request %q complete\n", id)
-			done = true
-		},
-	})
-	vc.HandleTail(qnet.Handlers{AutoConsume: true})
-
-	if err := vc.Submit(qnet.Request{ID: "r1", Type: qnet.Keep, NumPairs: 5}); err != nil {
-		log.Fatal(err)
+		cm.Path, cm.Plan.LinkFidelity, cm.Plan.Cutoff)
+	for i, at := range cm.DeliveryTimes {
+		fmt.Printf("pair %d at t=%v: Bell state %v, fidelity %.3f\n",
+			i+1, at, cm.States[i], cm.Fidelities[i])
 	}
-	net.Run(30 * sim.Second)
-	if !done {
+	if !cm.AllComplete() {
 		log.Fatal("request did not complete in 30 simulated seconds")
 	}
+	fmt.Printf("request %q complete\n", cm.Requests[0].ID)
 }

@@ -4,7 +4,9 @@
 // Alice prepares data qubits in random states, requests KEEP pairs in a
 // fixed final Bell state (the QNP's head-end Pauli correction), teleports
 // each data qubit through its pair, and the example verifies the received
-// state's fidelity at Bob against the known input.
+// state's fidelity at Bob against the known input. The circuit, workload
+// and measurement window are declared as a Scenario; the teleportation
+// itself runs in a custom head-end handler layered over the metrics.
 package main
 
 import (
@@ -21,53 +23,60 @@ import (
 
 func main() {
 	const pairs = 20
-	net := qnet.Chain(qnet.DefaultConfig(), 3)
 	phi := quantum.PhiPlus
-	vc, err := net.Establish("tp", "n0", "n2", 0.85, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	// Random pure data states |ψ> = cos(θ/2)|0> + e^{iφ} sin(θ/2)|1>.
 	src := rand.New(rand.NewSource(7))
 	var fidelities []float64
-	vc.HandleTail(qnet.Handlers{AutoConsume: true})
-	vc.HandleHead(qnet.Handlers{
-		OnPair: func(d qnet.Delivered) {
-			theta, ph := src.Float64()*math.Pi, src.Float64()*2*math.Pi
-			v := linalg.ColumnVector(
-				complex(math.Cos(theta/2), 0),
-				complex(math.Sin(theta/2)*math.Cos(ph), math.Sin(theta/2)*math.Sin(ph)),
-			)
-			data := linalg.OuterProduct(v, v)
+	var net *qnet.Network
 
-			// Teleport through the delivered pair: the Bell-state
-			// measurement consumes Alice's half; the correction on Bob's
-			// side uses the network-declared Bell state — this is why the
-			// QNP must deliver the state with the pair.
-			params := net.Config.Params
-			out := quantum.Teleport(data, d.Pair.Rho(), d.State, params.SwapConfig(), net.Sim.Rand())
-			f := real(linalg.Expectation(out, v))
-			fidelities = append(fidelities, f)
-			fmt.Printf("teleport %2d: declared %v, output fidelity %.3f\n", d.Seq+1, d.State, f)
+	res, err := qnet.Scenario{
+		Name:     "teleport",
+		Topology: qnet.ChainTopo(3),
+		// The handler needs the live network (its params and physics RNG);
+		// Setup captures it before any delivery fires.
+		Setup: func(n *qnet.Network) { net = n },
+		Circuits: []qnet.CircuitSpec{{
+			ID: "tp", Src: "n0", Dst: "n2", Fidelity: 0.85,
+			Workload: qnet.Batch{Requests: []qnet.Request{{
+				ID: "tp", Type: qnet.Keep, NumPairs: pairs, FinalState: &phi,
+			}}},
+			Head: qnet.Handlers{
+				OnPair: func(d qnet.Delivered) {
+					theta, ph := src.Float64()*math.Pi, src.Float64()*2*math.Pi
+					v := linalg.ColumnVector(
+						complex(math.Cos(theta/2), 0),
+						complex(math.Sin(theta/2)*math.Cos(ph), math.Sin(theta/2)*math.Sin(ph)),
+					)
+					data := linalg.OuterProduct(v, v)
 
-			// Physically both halves are consumed by the protocol.
-			for s := 0; s < 2; s++ {
-				if q := d.Pair.Half(s); q != nil {
-					net.Device(q.Node()).Free(q)
-				}
-			}
-		},
-	})
+					// Teleport through the delivered pair: the Bell-state
+					// measurement consumes Alice's half; the correction on
+					// Bob's side uses the network-declared Bell state — this
+					// is why the QNP must deliver the state with the pair.
+					params := net.Config.Params
+					out := quantum.Teleport(data, d.Pair.Rho(), d.State, params.SwapConfig(), net.Sim.Rand())
+					f := real(linalg.Expectation(out, v))
+					fidelities = append(fidelities, f)
+					fmt.Printf("teleport %2d: declared %v, output fidelity %.3f\n", d.Seq+1, d.State, f)
 
-	if err := vc.Submit(qnet.Request{
-		ID: "tp", Type: qnet.Keep, NumPairs: pairs, FinalState: &phi,
-	}); err != nil {
+					// Physically both halves are consumed by the protocol.
+					for s := 0; s < 2; s++ {
+						if q := d.Pair.Half(s); q != nil {
+							net.Device(q.Node()).Free(q)
+						}
+					}
+				},
+			},
+		}},
+		Horizon: 60 * sim.Second,
+		WaitFor: []qnet.CircuitID{"tp"},
+	}.Run()
+	if err != nil {
 		log.Fatal(err)
 	}
-	net.Run(60 * sim.Second)
 
-	if len(fidelities) != pairs {
+	if got := res.Metrics.Circuit("tp").Delivered; got != pairs || len(fidelities) != pairs {
 		log.Fatalf("only %d/%d teleports completed", len(fidelities), pairs)
 	}
 	var sum float64

@@ -31,7 +31,14 @@ func (f *Filter) Accept(d core.Delivered) bool {
 		f.Accepted++
 		return true
 	}
-	if d.Pair.FidelityWith(d.At, d.State) >= f.Threshold {
+	return f.AcceptFidelity(d.Pair.FidelityWith(d.At, d.State))
+}
+
+// AcceptFidelity applies the oracle rule to an already-computed delivery
+// fidelity — the form scenario metrics use, where the exact fidelity was
+// recorded once at delivery time.
+func (f *Filter) AcceptFidelity(fid float64) bool {
+	if fid >= f.Threshold {
 		f.Accepted++
 		return true
 	}

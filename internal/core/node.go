@@ -381,6 +381,18 @@ func (n *Node) registerLinks(cs *circuit, rate float64) {
 		} else {
 			eng.UpdateRate(e.DownLabel, lpr)
 		}
+		if cs.role == RoleHead && e.MaxEER > 0 {
+			// Shaping (§4.1): under admission control the head-end caps its
+			// first hop at the admitted end-to-end rate. Every end-to-end
+			// pair consumes one head-link pair, so pacing here bounds the
+			// circuit's measured EER by its allocation regardless of how
+			// idle the rest of the plant is.
+			pace := 0.0
+			if rate != maxLPRSentinel {
+				pace = rate
+			}
+			eng.SetPace(e.DownLabel, pace)
+		}
 	}
 	if e.Upstream != "" && !cs.upRegistered {
 		eng := n.fabric.Between(string(n.id), string(e.Upstream))

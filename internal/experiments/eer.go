@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qnp/internal/quantum"
+	"qnp/internal/runner"
+	"qnp/internal/sim"
+	"qnp/qnet"
+)
+
+// EERPoint is one offered-load marker of the saturation study.
+type EERPoint struct {
+	Requests    int     // concurrent rate-based requests offered
+	OfferedPS   float64 // sum of requested rates (pairs/s)
+	MeasuredPS  float64 // delivered pairs/s at the head-end
+	Rejected    float64 // mean policed-away requests per run
+	Oversized   bool    // single request demanding more than the allocation
+	AllocatedPS float64
+}
+
+// EERData is the admission-control saturation study.
+type EERData struct {
+	Points      []EERPoint
+	AllocatedPS float64
+	HorizonS    float64
+}
+
+// EERSaturation exercises routing.Controller.EnforceEER end to end: with
+// admission control on, the A0-B0 plan carries a MaxEER allocation, and the
+// head-end polices and shapes rate-based requests against it. The offered
+// load sweeps past the allocation — demand above it is queued (shaped) or,
+// when a single request alone exceeds the allocation, rejected — and the
+// measured end-to-end rate saturates at or below MaxEER.
+func EERSaturation(o Options) *EERData {
+	horizon := 10 * sim.Second
+	if o.Quick {
+		horizon = 4 * sim.Second
+	}
+	return eerSaturation(o, horizon, []int{1, 2, 3, 4, 6})
+}
+
+// eerSaturation is the parameterised core, so -short tests can trim the
+// sweep without duplicating the scenario.
+func eerSaturation(o Options, horizon sim.Duration, loads []int) *EERData {
+	runs := o.Runs
+	if runs > 3 {
+		runs = 3
+	}
+	if o.Quick {
+		runs = 1
+	}
+	const fid = 0.85
+	// Read the allocation the controller hands out on this plant.
+	alloc := 0.0
+	{
+		cfg := qnet.DefaultConfig()
+		cfg.EnforceEER = true
+		net := qnet.Dumbbell(cfg)
+		plan, err := net.Controller.PlanCircuit("A0", "B0", fid, qnet.CutoffShort, 0)
+		if err != nil {
+			panic(err)
+		}
+		alloc = plan.MaxEER
+	}
+	perReq := alloc * 0.4
+
+	type job struct {
+		requests  int
+		oversized bool
+	}
+	var jobs []job
+	for _, k := range loads {
+		for r := 0; r < runs; r++ {
+			jobs = append(jobs, job{requests: k})
+		}
+	}
+	for r := 0; r < runs; r++ {
+		jobs = append(jobs, job{requests: 1, oversized: true})
+	}
+	type result struct {
+		measured float64
+		rejected int
+	}
+	results := mapJobs(o, jobs, func(j job, seed int64) result {
+		cfg := qnet.DefaultConfig()
+		cfg.Seed = seed
+		cfg.EnforceEER = true
+		reqs := make([]qnet.Request, j.requests)
+		for i := range reqs {
+			rate := perReq
+			if j.oversized {
+				rate = 2 * alloc
+			}
+			reqs[i] = qnet.Request{
+				ID: qnet.RequestID(fmt.Sprintf("m%d", i)), Type: qnet.Measure,
+				MeasureBasis: quantum.ZBasis, Rate: rate,
+			}
+		}
+		res, err := qnet.Scenario{
+			Name:     "eer-saturation",
+			Config:   cfg,
+			Topology: qnet.DumbbellTopo(),
+			Circuits: []qnet.CircuitSpec{{
+				ID: "policed", Src: "A0", Dst: "B0", Fidelity: fid, Policy: qnet.CutoffShort,
+				Workload: qnet.Batch{Requests: reqs},
+			}},
+			Horizon: horizon,
+		}.Run()
+		if err != nil {
+			panic(err)
+		}
+		m := res.Metrics
+		cm := m.Circuit("policed")
+		return result{measured: cm.EER(m.Start, m.End), rejected: cm.Rejected}
+	})
+	d := &EERData{AllocatedPS: alloc, HorizonS: horizon.Seconds()}
+	for i := 0; i < len(jobs); i += runs {
+		j := jobs[i]
+		var meas, rej runner.Stats
+		for _, r := range results[i : i+runs] {
+			meas.Add(r.measured)
+			rej.Add(float64(r.rejected))
+		}
+		offered := float64(j.requests) * perReq
+		if j.oversized {
+			offered = 2 * alloc
+		}
+		d.Points = append(d.Points, EERPoint{
+			Requests: j.requests, OfferedPS: offered, MeasuredPS: meas.Mean(),
+			Rejected: rej.Mean(), Oversized: j.oversized, AllocatedPS: alloc,
+		})
+	}
+	return d
+}
+
+// Print writes the saturation table.
+func (d *EERData) Print(w io.Writer) {
+	header(w, fmt.Sprintf("EER saturation — policed A0-B0 circuit, allocation %.2f pairs/s, %.0f s runs",
+		d.AllocatedPS, d.HorizonS))
+	fmt.Fprintf(w, "%9s %11s %12s %10s\n", "requests", "offered/s", "measured/s", "rejected")
+	for _, p := range d.Points {
+		note := ""
+		if p.Oversized {
+			note = "  (single oversized request: policed away)"
+		}
+		fmt.Fprintf(w, "%9d %11.2f %12.2f %10.1f%s\n", p.Requests, p.OfferedPS, p.MeasuredPS, p.Rejected, note)
+	}
+	fmt.Fprintln(w, "demand above the allocation is shaped (queued) or rejected; the measured")
+	fmt.Fprintln(w, "rate stays at or below the MaxEER allocation")
+}

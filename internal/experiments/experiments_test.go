@@ -263,6 +263,147 @@ func TestTopologySweepQuick(t *testing.T) {
 	}
 }
 
+func TestHubContentionQuick(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		// Gateway contention only, two circuit counts: per-circuit
+		// throughput must collapse when four circuits share one spoke.
+		d := hubContention(QuickOptions(), 1500*sim.Millisecond, []int{1, 4}, []bool{true})
+		s1, s4 := d.Points[0], d.Points[1]
+		if s4.PerCircuitPS >= 0.7*s1.PerCircuitPS {
+			t.Errorf("no gateway contention: per-circuit %.1f/s → %.1f/s", s1.PerCircuitPS, s4.PerCircuitPS)
+		}
+		return
+	}
+	d := HubContention(QuickOptions())
+	if len(d.Points) != 8 {
+		t.Fatalf("%d points", len(d.Points))
+	}
+	get := func(k int, shared bool) HubPoint {
+		for _, p := range d.Points {
+			if p.Circuits == k && p.Shared == shared {
+				return p
+			}
+		}
+		t.Fatalf("missing point k=%d shared=%v", k, shared)
+		return HubPoint{}
+	}
+	// Disjoint spokes scale: four circuits deliver well over twice one
+	// circuit's aggregate, and the hub's swap load grows with them.
+	if d1, d4 := get(1, false), get(4, false); d4.AggregatePS < 2*d1.AggregatePS {
+		t.Errorf("disjoint spokes did not scale: 1→%.1f/s, 4→%.1f/s", d1.AggregatePS, d4.AggregatePS)
+	} else if d4.HubSwaps <= d1.HubSwaps {
+		t.Errorf("hub swap load did not grow: %.1f → %.1f", d1.HubSwaps, d4.HubSwaps)
+	}
+	// The shared gateway spoke is the contention point: per-circuit
+	// throughput collapses as circuits pile onto it.
+	if s1, s4 := get(1, true), get(4, true); s4.PerCircuitPS >= 0.7*s1.PerCircuitPS {
+		t.Errorf("no gateway contention: per-circuit %.1f/s → %.1f/s", s1.PerCircuitPS, s4.PerCircuitPS)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "shared gateway spoke") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestPathDiversityQuick(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		// Grid rows only: link-disjoint circuits must scale the aggregate.
+		d := pathDiversity(QuickOptions(), 1500*sim.Millisecond, []string{"grid-4x4"}, []int{1, 4})
+		g1, g4 := d.Points[0], d.Points[1]
+		if g4.AggregatePS < 2*g1.AggregatePS {
+			t.Errorf("grid aggregate did not scale: 1→%.1f/s, 4→%.1f/s", g1.AggregatePS, g4.AggregatePS)
+		}
+		return
+	}
+	d := PathDiversity(QuickOptions())
+	get := func(topo string, k int) DiversityPoint {
+		for _, p := range d.Points {
+			if p.Topology == topo && p.Circuits == k {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s k=%d", topo, k)
+		return DiversityPoint{}
+	}
+	// Link-disjoint grid rows scale aggregate throughput with the circuit
+	// count — the payoff of path diversity.
+	g1, g4 := get("grid-4x4", 1), get("grid-4x4", 4)
+	if g1.Feasible < 1 || g4.Feasible < 1 {
+		t.Errorf("grid circuits infeasible: %v %v", g1.Feasible, g4.Feasible)
+	}
+	if g4.AggregatePS < 2*g1.AggregatePS {
+		t.Errorf("grid aggregate did not scale: 1→%.1f/s, 4→%.1f/s", g1.AggregatePS, g4.AggregatePS)
+	}
+	// Waxman random demand must at least plan and deliver.
+	for _, k := range []int{1, 2, 4} {
+		if p := get("waxman-12", k); p.Feasible <= 0 || p.AggregatePS <= 0 {
+			t.Errorf("waxman k=%d: feasible %.2f, aggregate %.2f/s", k, p.Feasible, p.AggregatePS)
+		}
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "waxman-12") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestEERSaturationQuick(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		// One overloaded point plus the oversized request: measured EER
+		// must stay at or below the allocation and the oversized request
+		// must be policed away.
+		d := eerSaturation(QuickOptions(), 2*sim.Second, []int{3})
+		for _, p := range d.Points {
+			if p.MeasuredPS > d.AllocatedPS*1.02 {
+				t.Errorf("measured %.2f pairs/s exceeds allocation %.2f", p.MeasuredPS, d.AllocatedPS)
+			}
+			if p.Oversized && (p.Rejected < 1 || p.MeasuredPS > 0) {
+				t.Errorf("oversized request not policed: rejected=%.1f measured=%.2f", p.Rejected, p.MeasuredPS)
+			}
+		}
+		return
+	}
+	d := EERSaturation(QuickOptions())
+	if d.AllocatedPS <= 0 {
+		t.Fatalf("allocation %.2f", d.AllocatedPS)
+	}
+	sawOversized := false
+	for _, p := range d.Points {
+		// The satellite assertion: the policed circuit's measured EER stays
+		// at or below its allocation (small slack for window rounding).
+		if p.MeasuredPS > d.AllocatedPS*1.02 {
+			t.Errorf("measured %.2f pairs/s exceeds allocation %.2f (offered %.2f)",
+				p.MeasuredPS, d.AllocatedPS, p.OfferedPS)
+		}
+		if p.Oversized {
+			sawOversized = true
+			if p.Rejected < 1 {
+				t.Errorf("oversized request not policed: rejected=%.1f", p.Rejected)
+			}
+			if p.MeasuredPS > 0 {
+				t.Errorf("oversized request delivered %.2f pairs/s", p.MeasuredPS)
+			}
+		} else if p.Rejected != 0 {
+			t.Errorf("in-allocation load rejected: %.1f at offered %.2f", p.Rejected, p.OfferedPS)
+		}
+		if !p.Oversized && p.MeasuredPS <= 0 {
+			t.Errorf("no deliveries at offered %.2f", p.OfferedPS)
+		}
+	}
+	if !sawOversized {
+		t.Error("no oversized point in the sweep")
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if !strings.Contains(buf.String(), "at or below the MaxEER allocation") {
+		t.Error("Print output incomplete")
+	}
+}
+
 // TestWorkerCountInvariance is the runner's end-to-end determinism proof:
 // the same seed must render byte-identical figure aggregates no matter how
 // many workers share the replicas.

@@ -40,7 +40,6 @@ func Fig11(o Options) *Fig11Data {
 	}
 	cfg := qnet.NearTermConfig(25000)
 	cfg.Seed = o.Seed
-	net := qnet.Chain(cfg, 3)
 
 	const (
 		linkF   = 0.81
@@ -59,50 +58,50 @@ func Fig11(o Options) *Fig11Data {
 		MaxLPR:           1 / pairTime.Seconds(),
 		EndToEndFidelity: targetF,
 	}
-	vc, err := net.EstablishPlan("nearterm", plan)
+
+	d := &Fig11Data{LinkF: linkF, CutoffS: cutoff.Seconds(), TargetF: targetF}
+	delivered := 0
+	// This figure is a single staircase run, not a replica fan-out, so the
+	// scenario honours cancellation in its own event loop; progress ticks
+	// once per delivered pair.
+	res, err := qnet.Scenario{
+		Config:   cfg,
+		Topology: qnet.ChainTopo(3),
+		Circuits: []qnet.CircuitSpec{{
+			ID: "nearterm", Plan: &plan,
+			Workload:       qnet.Batch{Requests: []qnet.Request{{ID: "r", Type: qnet.Keep, NumPairs: pairs}}},
+			RecordFidelity: true,
+			Head: qnet.Handlers{
+				AutoConsume: true,
+				OnPair: func(qnet.Delivered) {
+					delivered++
+					if o.Progress != nil {
+						o.Progress(delivered, pairs)
+					}
+				},
+			},
+		}},
+		Horizon: 30 * sim.Minute,
+		WaitFor: []qnet.CircuitID{"nearterm"},
+		Context: o.Context,
+	}.Run()
 	if err != nil {
 		panic(err)
 	}
-
-	d := &Fig11Data{LinkF: linkF, CutoffS: cutoff.Seconds(), TargetF: targetF}
-	start := net.Sim.Now()
+	cm := res.Metrics.Circuit("nearterm")
+	start := res.Metrics.Start
 	var fids runner.Stats
-	vc.HandleTail(qnet.Handlers{AutoConsume: true})
-	vc.HandleHead(qnet.Handlers{
-		AutoConsume: true,
-		OnPair: func(del qnet.Delivered) {
-			f := 0.0
-			if del.Pair != nil {
-				f = del.Pair.FidelityWith(del.At, del.State)
-			}
-			fids.Add(f)
-			if f >= targetF {
-				d.DeliveredOK++
-			}
-			d.Deliveries = append(d.Deliveries, Fig11Delivery{
-				AtS:      del.At.Sub(start).Seconds(),
-				Count:    len(d.Deliveries) + 1,
-				Fidelity: f,
-			})
-			if o.Progress != nil {
-				o.Progress(len(d.Deliveries), pairs)
-			}
-		},
-	})
-	if err := vc.Submit(qnet.Request{ID: "r", Type: qnet.Keep, NumPairs: pairs}); err != nil {
-		panic(err)
-	}
-	// This figure is a single staircase run, not a replica fan-out, so it
-	// honours cancellation in its own event loop; progress ticks once per
-	// delivered pair above.
-	deadline := start.Add(30 * sim.Minute)
-	for len(d.Deliveries) < pairs && net.Sim.Now() < deadline {
-		if o.Context != nil && o.Context.Err() != nil {
-			break
+	for i, at := range cm.DeliveryTimes {
+		f := cm.Fidelities[i]
+		fids.Add(f)
+		if f >= targetF {
+			d.DeliveredOK++
 		}
-		if !net.Sim.Step() {
-			break
-		}
+		d.Deliveries = append(d.Deliveries, Fig11Delivery{
+			AtS:      at.Sub(start).Seconds(),
+			Count:    i + 1,
+			Fidelity: f,
+		})
 	}
 	d.MeanFid = fids.Mean()
 	return d

@@ -103,63 +103,52 @@ func Fig8(o Options) *Fig8Data {
 func fig8Run(seed int64, nCirc int, short bool, fidelity float64, load, pairs int, capT sim.Duration) Fig8Point {
 	cfg := qnet.DefaultConfig()
 	cfg.Seed = seed
-	net := qnet.Dumbbell(cfg)
 	policy := qnet.CutoffLong
 	if short {
 		policy = qnet.CutoffShort
 	}
+	// Round-robin request placement: request k goes to circuit k mod n. The
+	// scenario engine submits simultaneous batches breadth-first across
+	// circuits, so listing each circuit's share reproduces the global
+	// round-robin submission order exactly.
 	sets := circuitSets(nCirc)
-	var circs []*qnet.Circuit
-	for i, ep := range sets {
-		vc, err := net.Establish(qnet.CircuitID(fmt.Sprintf("c%d", i)), ep[0], ep[1], fidelity,
-			&qnet.CircuitOptions{Policy: policy})
-		if err != nil {
-			panic(err)
-		}
-		circs = append(circs, vc)
-	}
-	// Completion times of requests carried by the A0-B0 circuit (index 0).
-	start := net.Sim.Now()
-	var doneTimes []sim.Time
-	wantOnC0 := 0
-	for i, vc := range circs {
-		vc.HandleTail(qnet.Handlers{AutoConsume: true})
-		if i == 0 {
-			vc.HandleHead(qnet.Handlers{
-				AutoConsume: true,
-				OnComplete:  func(qnet.RequestID) { doneTimes = append(doneTimes, net.Sim.Now()) },
-			})
-		} else {
-			vc.HandleHead(qnet.Handlers{AutoConsume: true})
-		}
-	}
-	// Round-robin request placement: request k goes to circuit k mod n.
+	reqs := make([][]qnet.Request, len(sets))
 	for k := 0; k < load; k++ {
-		vc := circs[k%len(circs)]
-		if k%len(circs) == 0 {
-			wantOnC0++
-		}
-		if err := vc.Submit(qnet.Request{
+		i := k % len(sets)
+		reqs[i] = append(reqs[i], qnet.Request{
 			ID: qnet.RequestID(fmt.Sprintf("r%d", k)), Type: qnet.Keep, NumPairs: pairs,
-		}); err != nil {
-			panic(err)
+		})
+	}
+	specs := make([]qnet.CircuitSpec, len(sets))
+	for i, ep := range sets {
+		specs[i] = qnet.CircuitSpec{
+			ID: qnet.CircuitID(fmt.Sprintf("c%d", i)), Src: ep[0], Dst: ep[1],
+			Fidelity: fidelity, Policy: policy,
+			Workload: qnet.Batch{Requests: reqs[i]},
 		}
 	}
-	for len(doneTimes) < wantOnC0 && net.Sim.Now() < start.Add(capT) {
-		if !net.Sim.Step() {
-			break
-		}
+	res, err := qnet.Scenario{
+		Config:   cfg,
+		Topology: qnet.DumbbellTopo(),
+		Circuits: specs,
+		Horizon:  capT,
+		WaitFor:  []qnet.CircuitID{"c0"}, // measure the A0-B0 circuit
+	}.Run()
+	if err != nil {
+		panic(err)
 	}
-	completed := len(doneTimes) == wantOnC0
+	cm := res.Metrics.Circuit("c0")
+	start := res.Metrics.Start
 	var ls []float64
-	for _, t := range doneTimes {
-		ls = append(ls, t.Sub(start).Seconds())
+	for _, rm := range cm.Requests {
+		if rm.Done {
+			ls = append(ls, rm.CompletedAt.Sub(start).Seconds())
+		} else {
+			// Unfinished requests count at the cap (a conservative floor).
+			ls = append(ls, capT.Seconds())
+		}
 	}
-	// Unfinished requests count at the cap (a conservative floor).
-	for i := len(doneTimes); i < wantOnC0; i++ {
-		ls = append(ls, capT.Seconds())
-	}
-	return Fig8Point{LatencyS: mean(ls), Completed: completed}
+	return Fig8Point{LatencyS: mean(ls), Completed: cm.AllComplete()}
 }
 
 // Print writes the six panels.

@@ -77,65 +77,34 @@ func Fig9(o Options) *Fig9Data {
 func fig9Run(seed int64, congested bool, intervalS float64, horizon, measureFrom sim.Duration) Fig9Point {
 	cfg := qnet.DefaultConfig()
 	cfg.Seed = seed
-	net := qnet.Dumbbell(cfg)
-	opts := &qnet.CircuitOptions{Policy: qnet.CutoffShort}
-	main, err := net.Establish("main", "A0", "B0", 0.85, opts)
-	if err != nil {
-		panic(err)
-	}
-	other, err := net.Establish("other", "A1", "B1", 0.85, opts)
-	if err != nil {
-		panic(err)
-	}
-	other.HandleHead(qnet.Handlers{AutoConsume: true})
-	other.HandleTail(qnet.Handlers{AutoConsume: true})
+	// A1-B1 idles or carries an open-ended background request; A0-B0 sees a
+	// 3-pair request every interval. Background traffic, being an immediate
+	// workload, opens before the timed arrival chain — the paper's setup.
+	var background qnet.Workload
 	if congested {
-		if err := other.Submit(qnet.Request{ID: "bg", Type: qnet.Keep, NumPairs: 0}); err != nil {
-			panic(err)
-		}
+		background = qnet.ContinuousKeep{ID: "bg"}
 	}
-
-	start := net.Sim.Now()
-	from := start.Add(measureFrom)
-	submitted := map[qnet.RequestID]sim.Time{}
-	var latencies []float64
-	delivered := 0
-	main.HandleTail(qnet.Handlers{AutoConsume: true})
-	main.HandleHead(qnet.Handlers{
-		AutoConsume: true,
-		OnPair: func(d qnet.Delivered) {
-			if d.At >= from {
-				delivered++
-			}
+	res, err := qnet.Scenario{
+		Config:   cfg,
+		Topology: qnet.DumbbellTopo(),
+		Circuits: []qnet.CircuitSpec{
+			{ID: "main", Src: "A0", Dst: "B0", Fidelity: 0.85, Policy: qnet.CutoffShort,
+				Workload: qnet.IntervalKeep{Interval: sim.DurationFromSeconds(intervalS), Pairs: 3}},
+			{ID: "other", Src: "A1", Dst: "B1", Fidelity: 0.85, Policy: qnet.CutoffShort,
+				Workload: background},
 		},
-		OnComplete: func(id qnet.RequestID) {
-			if t0, ok := submitted[id]; ok && t0 >= from {
-				latencies = append(latencies, net.Sim.Now().Sub(t0).Seconds())
-			}
-		},
-	})
-
-	// Issue a 3-pair request every interval.
-	interval := sim.DurationFromSeconds(intervalS)
-	k := 0
-	var issue func()
-	issue = func() {
-		id := qnet.RequestID(fmt.Sprintf("r%d", k))
-		k++
-		submitted[id] = net.Sim.Now()
-		if err := main.Submit(qnet.Request{ID: id, Type: qnet.Keep, NumPairs: 3}); err != nil {
-			panic(err)
-		}
-		if net.Sim.Now().Sub(start) < horizon {
-			net.Sim.Schedule(interval, issue)
-		}
+		Horizon: horizon,
+	}.Run()
+	if err != nil {
+		panic(err)
 	}
-	net.Sim.Schedule(0, issue)
-	net.Sim.RunUntil(start.Add(horizon))
-
+	// Measure only after the system reaches equilibrium.
+	cm := res.Metrics.Circuit("main")
+	from := res.Metrics.Start.Add(measureFrom)
+	latencies := cm.Latencies(from)
 	window := horizon - measureFrom
 	return Fig9Point{
-		ThroughputPS: float64(delivered) / window.Seconds(),
+		ThroughputPS: float64(cm.DeliveredSince(from)) / window.Seconds(),
 		LatencyS:     mean(latencies),
 		LatP5:        percentile(latencies, 0.05),
 		LatP95:       percentile(latencies, 0.95),

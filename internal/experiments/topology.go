@@ -34,22 +34,21 @@ type TopoData struct {
 	TargetF  float64
 }
 
-// topoScenario names a generator; build must construct a started network
-// from the replica's config.
+// topoScenario names a declarative topology the sweep drives.
 type topoScenario struct {
 	name  string
 	nodes int
-	build func(cfg qnet.Config) *qnet.Network
+	topo  qnet.TopologySpec
 }
 
 func topoScenarios() []topoScenario {
 	return []topoScenario{
-		{"chain-3", 3, func(cfg qnet.Config) *qnet.Network { return qnet.Chain(cfg, 3) }},
-		{"chain-5", 5, func(cfg qnet.Config) *qnet.Network { return qnet.Chain(cfg, 5) }},
-		{"ring-6", 6, func(cfg qnet.Config) *qnet.Network { return qnet.Ring(cfg, 6) }},
-		{"star-6", 6, func(cfg qnet.Config) *qnet.Network { return qnet.Star(cfg, 6) }},
-		{"grid-3x3", 9, func(cfg qnet.Config) *qnet.Network { return qnet.Grid(cfg, 3, 3) }},
-		{"waxman-10", 10, func(cfg qnet.Config) *qnet.Network { return qnet.RandomGraph(cfg, 10, 0.5, 0.4) }},
+		{"chain-3", 3, qnet.ChainTopo(3)},
+		{"chain-5", 5, qnet.ChainTopo(5)},
+		{"ring-6", 6, qnet.RingTopo(6)},
+		{"star-6", 6, qnet.StarTopo(6)},
+		{"grid-3x3", 9, qnet.GridTopo(3, 3)},
+		{"waxman-10", 10, qnet.WaxmanTopo(10, 0.5, 0.4)},
 	}
 }
 
@@ -85,32 +84,33 @@ func TopologySweep(o Options) *TopoData {
 	results := mapJobs(o, jobs, func(sc topoScenario, seed int64) result {
 		cfg := qnet.DefaultConfig()
 		cfg.Seed = seed
-		net := sc.build(cfg)
-		src, dst, hops := net.Diameter()
-		res := result{links: net.LinkCount(), hops: hops}
-		vc, err := net.Establish("topo", src, dst, fid, nil)
+		run, err := qnet.Scenario{
+			Config:   cfg,
+			Topology: sc.topo,
+			Circuits: []qnet.CircuitSpec{{
+				ID: "topo", Select: qnet.DiameterPair(), Fidelity: fid,
+				Workload: qnet.ContinuousKeep{ID: "tp"},
+				// Some shapes cannot plan a diameter circuit at this target:
+				// that is the sweep's FeasibleFrac, not an error.
+				Optional:       true,
+				RecordFidelity: true,
+			}},
+			Horizon: horizon,
+		}.Run()
 		if err != nil {
+			panic(err)
+		}
+		_, _, hops := run.Net.Diameter()
+		res := result{links: run.Metrics.Links, hops: hops}
+		cm := run.Metrics.Circuit("topo")
+		if !cm.Established {
 			return res
 		}
 		res.feasible = true
-		count := 0
+		// Mean over pair deliveries only (a Measure delivery records F=0).
 		var fids runner.Stats
-		vc.HandleTail(qnet.Handlers{AutoConsume: true})
-		vc.HandleHead(qnet.Handlers{
-			AutoConsume: true,
-			OnPair: func(d qnet.Delivered) {
-				count++
-				if d.Pair != nil {
-					fids.Add(d.Pair.FidelityWith(d.At, d.State))
-				}
-			},
-		})
-		if err := vc.Submit(qnet.Request{ID: "tp", Type: qnet.Keep, NumPairs: 0}); err != nil {
-			panic(err)
-		}
-		start := net.Sim.Now()
-		net.Sim.RunUntil(start.Add(horizon))
-		res.pairsPS = float64(count) / horizon.Seconds()
+		fids.Add(cm.Fidelities...)
+		res.pairsPS = float64(cm.Delivered) / horizon.Seconds()
 		res.meanFid = fids.Mean()
 		return res
 	})

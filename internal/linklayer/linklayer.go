@@ -68,6 +68,14 @@ type request struct {
 	consumers   [2]Consumer
 	// used is the virtual link time consumed, for fair queuing.
 	used sim.Duration
+	// paceRate, when positive, caps the request's absolute pair rate:
+	// generation rounds keep a minimum spacing of 1/paceRate. Zero means
+	// share-only scheduling (the default WRR behaviour). Shaped circuits
+	// (admission-controlled EER) pace their head-end link this way — a WRR
+	// weight only divides link time among competitors and cannot bound a
+	// request's absolute rate on an otherwise idle link.
+	paceRate    float64
+	nextAllowed sim.Time
 }
 
 func (r *request) active() bool { return r.registered[0] && r.registered[1] }
@@ -212,6 +220,21 @@ func (e *Engine) UpdateRate(label Label, rate float64) {
 	}
 }
 
+// SetPace caps a request's absolute link-pair rate (pairs/s); 0 removes the
+// cap. Unlike the WRR weight — a relative share of link time — the pace is
+// an absolute ceiling, honoured even when the link is otherwise idle.
+func (e *Engine) SetPace(label Label, pairsPerSec float64) {
+	r, ok := e.reqs[label]
+	if !ok {
+		return
+	}
+	r.paceRate = pairsPerSec
+	if pairsPerSec <= 0 {
+		r.nextAllowed = 0
+	}
+	e.dispatch()
+}
+
 // Deactivate stops one side's participation. When the in-flight round
 // belongs to a request that lost an endpoint, the round is aborted and its
 // qubits are freed. Once both sides have deactivated, the request is
@@ -289,8 +312,16 @@ func (e *Engine) dispatch() {
 	}
 	var best *request
 	var bestV float64
+	var wake sim.Time
 	for _, r := range e.order {
 		if !r.active() || r.weight <= 0 {
+			continue
+		}
+		if r.paceRate > 0 && r.nextAllowed > e.sim.Now() {
+			// Paced out: remember the earliest time a capped request frees.
+			if wake == 0 || r.nextAllowed < wake {
+				wake = r.nextAllowed
+			}
 			continue
 		}
 		v := float64(r.used) / r.weight
@@ -299,6 +330,9 @@ func (e *Engine) dispatch() {
 		}
 	}
 	if best == nil {
+		if wake > 0 {
+			e.retry = e.sim.ScheduleAt(wake, e.dispatch)
+		}
 		return
 	}
 	q0, ok0 := e.devs[0].AllocComm(e.name)
@@ -324,6 +358,9 @@ func (e *Engine) complete(cur *round) {
 	e.current = nil
 	r := cur.req
 	r.used += e.sim.Now().Sub(cur.start)
+	if r.paceRate > 0 {
+		r.nextAllowed = e.sim.Now().Add(sim.DurationFromSeconds(1 / r.paceRate))
+	}
 	e.stats.Attempts += uint64(cur.k)
 	e.stats.PairsDelivered++
 	for _, d := range e.devs {

@@ -133,11 +133,23 @@ func (s *Simulation) Run() {
 	}
 }
 
+// StepUntil fires the next pending event only if it is scheduled at or
+// before deadline. It returns false — firing nothing and leaving the clock
+// untouched — when the queue is empty, the simulation is stopped, or the
+// next event lies beyond the deadline. This is the bounded building block
+// for waits that must never overshoot a virtual-time budget (circuit
+// installation, scenario horizons).
+func (s *Simulation) StepUntil(deadline Time) bool {
+	if s.stopped || len(s.queue) == 0 || s.queue[0].at > deadline {
+		return false
+	}
+	return s.Step()
+}
+
 // RunUntil fires events with time ≤ deadline, then advances the clock to the
 // deadline. Events scheduled beyond the deadline stay queued.
 func (s *Simulation) RunUntil(deadline Time) {
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
-		s.Step()
+	for s.StepUntil(deadline) {
 	}
 	if s.now < deadline {
 		s.now = deadline

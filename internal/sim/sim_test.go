@@ -108,6 +108,41 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+func TestStepUntil(t *testing.T) {
+	s := New(1)
+	var got []Time
+	for _, d := range []Duration{10, 20, 30} {
+		s.Schedule(d, func() { got = append(got, s.Now()) })
+	}
+	if !s.StepUntil(15) {
+		t.Fatal("StepUntil(15) refused the event at t=10")
+	}
+	// The next event (t=20) lies beyond the deadline: nothing may fire and
+	// the clock must not move.
+	if s.StepUntil(15) {
+		t.Error("StepUntil(15) fired an event beyond the deadline")
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now() = %v after bounded stepping to 15, want 10", s.Now())
+	}
+	// Inclusive boundary: an event exactly at the deadline fires.
+	if !s.StepUntil(20) {
+		t.Error("StepUntil(20) refused the event exactly at the deadline")
+	}
+	s.RunUntil(100)
+	if len(got) != 3 {
+		t.Errorf("fired %d events total, want 3", len(got))
+	}
+	if s.StepUntil(1000) {
+		t.Error("StepUntil on an empty queue returned true")
+	}
+	s.Schedule(Second, func() {})
+	s.Stop()
+	if s.StepUntil(Time(10 * Second)) {
+		t.Error("StepUntil on a stopped simulation returned true")
+	}
+}
+
 func TestRunForAdvancesClock(t *testing.T) {
 	s := New(1)
 	s.RunFor(Second)

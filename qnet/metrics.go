@@ -1,0 +1,196 @@
+package qnet
+
+import (
+	"qnp/internal/quantum"
+	"qnp/internal/runner"
+	"qnp/internal/sim"
+)
+
+// RequestMetrics records one request submitted through a scenario workload.
+type RequestMetrics struct {
+	ID          RequestID
+	SubmittedAt sim.Time
+	CompletedAt sim.Time
+	// Done reports head-end completion (OnComplete fired).
+	Done bool
+	// Rejected reports that policing refused the request (OnReject fired).
+	Rejected bool
+	// Pairs is the request's NumPairs (0 for open-ended requests).
+	Pairs int
+}
+
+// CircuitMetrics aggregates what one circuit of a scenario did. Counters
+// are taken at the circuit's head-end, the same vantage point the paper's
+// evaluation measures from; Expired sums both ends.
+type CircuitMetrics struct {
+	ID   CircuitID
+	Src  string
+	Dst  string
+	Path []string
+	// Established reports whether the circuit installed; when false, Err
+	// holds the routing/signalling error and all counters stay zero.
+	Established bool
+	Err         string
+	Plan        Plan
+
+	// Delivered counts head-end pair (or measurement) deliveries, with the
+	// delivery times in order. With CircuitSpec.RecordFidelity the exact
+	// pair fidelity and declared Bell state at each delivery ride along.
+	Delivered      int
+	DeliveryTimes  []sim.Time
+	Fidelities     []float64
+	States         []quantum.BellIndex
+	EarlyDelivered int
+	Expired        int
+	Rejected       int
+	Requests       []*RequestMetrics
+
+	reqByID       map[RequestID]*RequestMetrics
+	pendingFinite int
+}
+
+// DeliveredSince counts deliveries at or after from — the steady-state
+// window used by latency-versus-throughput scenarios.
+func (c *CircuitMetrics) DeliveredSince(from sim.Time) int {
+	n := 0
+	for _, t := range c.DeliveryTimes {
+		if t >= from {
+			n++
+		}
+	}
+	return n
+}
+
+// EER is the measured entanglement end-to-end rate: deliveries in [from, to]
+// per second.
+func (c *CircuitMetrics) EER(from, to sim.Time) float64 {
+	w := to.Sub(from).Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(c.DeliveredSince(from)) / w
+}
+
+// Latencies returns the completion latencies (seconds) of finished requests
+// submitted at or after from, in submission order.
+func (c *CircuitMetrics) Latencies(from sim.Time) []float64 {
+	var out []float64
+	for _, r := range c.Requests {
+		if r.Done && r.SubmittedAt >= from {
+			out = append(out, r.CompletedAt.Sub(r.SubmittedAt).Seconds())
+		}
+	}
+	return out
+}
+
+// MeanFidelity averages the recorded per-delivery fidelities (0 when the
+// scenario did not record them).
+func (c *CircuitMetrics) MeanFidelity() float64 {
+	var s runner.Stats
+	s.Add(c.Fidelities...)
+	return s.Mean()
+}
+
+// AllComplete reports whether every submitted finite request finished.
+func (c *CircuitMetrics) AllComplete() bool {
+	if !c.Established {
+		return false
+	}
+	for _, r := range c.Requests {
+		if r.Pairs > 0 && !r.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// request looks up the bookkeeping record for a workload-submitted request.
+func (c *CircuitMetrics) request(id RequestID) *RequestMetrics {
+	if c.reqByID == nil {
+		return nil
+	}
+	return c.reqByID[id]
+}
+
+// Metrics is a scenario run's unified result: per-circuit delivery,
+// latency, fidelity and policing counters plus network-wide totals.
+type Metrics struct {
+	Name string
+	// Start is the virtual time traffic opened (after circuit
+	// installation); End is where the run stopped. The measurement window
+	// for rate helpers is [Start, End].
+	Start sim.Time
+	End   sim.Time
+	// Err is set on replicas that failed to run (RunReplicated keeps going).
+	Err string
+
+	Circuits []*CircuitMetrics
+	byID     map[CircuitID]*CircuitMetrics
+
+	Nodes             int
+	Links             int
+	ClassicalMessages uint64
+	// NodeStats holds every node's data-plane counters (swaps, discards,
+	// expiries) keyed by node ID.
+	NodeStats map[string]NodeStats
+}
+
+// Circuit returns a circuit's metrics, or nil for unknown IDs.
+func (m *Metrics) Circuit(id CircuitID) *CircuitMetrics { return m.byID[id] }
+
+// TotalDelivered sums deliveries over all circuits.
+func (m *Metrics) TotalDelivered() int {
+	n := 0
+	for _, c := range m.Circuits {
+		n += c.Delivered
+	}
+	return n
+}
+
+// AggregateEER is the network-wide delivered pair rate over the run window.
+func (m *Metrics) AggregateEER() float64 {
+	w := m.End.Sub(m.Start).Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(m.TotalDelivered()) / w
+}
+
+// waitSatisfied reports whether every listed circuit has no finite request
+// still pending — the scenario's early-stop condition.
+func (m *Metrics) waitSatisfied(ids []CircuitID) bool {
+	for _, id := range ids {
+		if c := m.byID[id]; c != nil && c.Established && c.pendingFinite > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MeanCircuitEER averages one circuit's full-window EER across replicas,
+// skipping failed replicas — the natural aggregate for RunReplicated.
+func MeanCircuitEER(ms []*Metrics, id CircuitID) float64 {
+	var s runner.Stats
+	for _, m := range ms {
+		if m == nil || m.Err != "" {
+			continue
+		}
+		if c := m.Circuit(id); c != nil {
+			s.Add(c.EER(m.Start, m.End))
+		}
+	}
+	return s.Mean()
+}
+
+// MeanAggregateEER averages the network-wide EER across replicas, skipping
+// failed replicas.
+func MeanAggregateEER(ms []*Metrics) float64 {
+	var s runner.Stats
+	for _, m := range ms {
+		if m == nil || m.Err != "" {
+			continue
+		}
+		s.Add(m.AggregateEER())
+	}
+	return s.Mean()
+}

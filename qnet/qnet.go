@@ -2,48 +2,60 @@
 // builder for simulated quantum networks running the full stack from the
 // paper — NV-centre hardware model, link layer entanglement generation,
 // the Quantum Network Protocol (QNP) data plane, routing controller and
-// signalling protocol — plus an application-facing circuit/request API.
+// signalling protocol — plus a declarative scenario/workload API for
+// driving and measuring multi-circuit traffic.
 //
-// A minimal session:
+// A minimal session declares a Scenario — a topology, circuits, and the
+// workloads that drive them — and reads the unified Metrics back:
 //
-//	net := qnet.Chain(qnet.DefaultConfig(), 3)     // Alice — repeater — Bob
+//	res, err := qnet.Scenario{
+//		Topology: qnet.ChainTopo(3), // Alice — repeater — Bob
+//		Circuits: []qnet.CircuitSpec{{
+//			ID: "vc1", Src: "n0", Dst: "n2", Fidelity: 0.8,
+//			Workload:       qnet.KeepBatch{Count: 1, Pairs: 10},
+//			RecordFidelity: true,
+//		}},
+//		Horizon: 10 * sim.Second,
+//		WaitFor: []qnet.CircuitID{"vc1"},
+//	}.Run()
+//	cm := res.Metrics.Circuit("vc1")
+//	// cm.Delivered, cm.Fidelities, cm.Requests[0].CompletedAt, ...
+//
+// Scenarios compose: several CircuitSpecs contend for the same links,
+// endpoint selectors (DiameterPair, RandomPairs) derive circuits from the
+// topology's shape, and pluggable workloads (ContinuousKeep, IntervalKeep,
+// PoissonKeep, OnOffKeep, MeasureStream, ...) model traffic patterns.
+// Scenario.RunReplicated fans independent replicas across a worker pool
+// with disjoint per-replica seeds and order-stable results.
+//
+// # Topologies
+//
+// Besides chains and the paper's dumbbell, generators build rings, stars,
+// grids and seeded Waxman random graphs, all with uniform hardware unless
+// Config.LinkLengthM overrides individual fibre lengths. Diameter picks
+// the farthest endpoint pair, so a scenario can always ask for the
+// topology's hardest circuit via the DiameterPair selector.
+//
+// # Imperative core
+//
+// The scenario layer is sugar over the imperative builder, which remains
+// available for applications that need full control:
+//
+//	net := qnet.Chain(qnet.DefaultConfig(), 3)
 //	vc, err := net.Establish("vc1", "n0", "n2", 0.8, nil)
 //	vc.HandleHead(qnet.Handlers{OnPair: func(d qnet.Delivered) { ... }})
 //	vc.Submit(qnet.Request{ID: "r1", Type: qnet.Keep, NumPairs: 10})
 //	net.Run(10 * sim.Second)
 //
-// # Topologies
-//
-// Besides Chain and the paper's Dumbbell, generators build rings, stars,
-// grids and seeded Waxman random graphs, all with the same uniform
-// hardware. Diameter picks the farthest endpoint pair, so a scenario can
-// always ask for the topology's hardest circuit:
-//
-//	net := qnet.Grid(qnet.DefaultConfig(), 3, 3)   // 9 nodes, 12 links
-//	src, dst, hops := net.Diameter()               // corner to corner, 4 hops
-//	vc, err := net.Establish("vc1", src, dst, 0.8, nil)
-//
-// # Replicated experiments
-//
-// Independent replicas of a scenario only need distinct, reproducible
-// seeds — everything else is a pure function of Config:
-//
-//	for i := 0; i < 100; i++ {
-//		cfg := qnet.DefaultConfig()
-//		cfg.Seed = base*7919 + int64(i) // disjoint per-replica seed streams
-//		net := qnet.Ring(cfg, 6)
-//		// ... drive a circuit, record the replica's metric ...
-//	}
-//
-// Inside this repository the internal/runner package shards exactly this
-// pattern across a worker pool with order-stable aggregation, so figure
-// output is bit-identical for any worker count; the experiment suite in
-// internal/experiments (cmd/figures) runs every figure of the paper's
-// evaluation, plus a topology sweep, that way.
+// The experiment suite in internal/experiments (cmd/figures) reproduces
+// every figure of the paper's evaluation on the scenario API, fanning the
+// replica grid through internal/runner so figure output is bit-identical
+// for any worker count.
 package qnet
 
 import (
 	"fmt"
+	"sort"
 
 	"qnp/internal/core"
 	"qnp/internal/device"
@@ -74,6 +86,10 @@ type (
 	CutoffPolicy = routing.CutoffPolicy
 	// Plan is the routing controller's circuit plan.
 	Plan = routing.Plan
+	// NodeStats are a QNP node's data-plane counters.
+	NodeStats = core.NodeStats
+	// Correlator identifies a link-pair / entanglement chain (§3.2).
+	Correlator = linklayer.Correlator
 )
 
 // Request consumption modes.
@@ -106,7 +122,19 @@ type Config struct {
 	SharedCommQubits int
 	// StorageQubits adds carbon storage qubits per node (near-term).
 	StorageQubits int
+	// LinkLengthM overrides the fibre length (in metres) of individual
+	// links, keyed by LinkKey(a, b). Links without an entry use Link.LengthM
+	// as before, so the paper's uniform evaluations are the zero value.
+	LinkLengthM map[string]float64
+	// EnforceEER turns on the routing controller's admission control: plans
+	// carry a MaxEER allocation and the head-end polices/shapes requests
+	// against it. The paper's evaluation leaves it off ("we do not perform
+	// any resource management").
+	EnforceEER bool
 }
+
+// LinkKey canonically names the a-b link for Config.LinkLengthM overrides.
+func LinkKey(a, b string) string { return linklayer.LinkName(a, b) }
 
 // DefaultConfig is the paper's main evaluation setup: idealised NV
 // parameters, 2 m lab fibre, two communication qubits per link end.
@@ -168,6 +196,7 @@ func New(cfg Config) *Network {
 		handlers:  make(map[string]map[CircuitID]Handlers),
 	}
 	n.Controller = routing.NewController(n.Graph, cfg.Params)
+	n.Controller.EnforceEER = cfg.EnforceEER
 	return n
 }
 
@@ -188,35 +217,49 @@ func (n *Network) AddNode(id string) {
 	n.devices[id] = dev
 }
 
-// Connect joins two nodes with the configured link (quantum + classical).
+// Connect joins two nodes with the configured link (quantum + classical),
+// honouring any Config.LinkLengthM override for this link.
 func (n *Network) Connect(a, b string) {
 	if n.started {
 		panic("qnet: Connect after Start")
 	}
 	name := linklayer.LinkName(a, b)
+	link := n.Config.Link
+	if m, ok := n.Config.LinkLengthM[name]; ok {
+		link.LengthM = m
+	}
 	if n.Config.QubitsPerLinkEnd > 0 && n.Config.SharedCommQubits == 0 {
 		n.devices[a].AddCommQubits(name, n.Config.QubitsPerLinkEnd)
 		n.devices[b].AddCommQubits(name, n.Config.QubitsPerLinkEnd)
 	}
-	n.Classical.Connect(netsim.NodeID(a), netsim.NodeID(b), n.Config.Link.PropagationDelay())
-	n.Fabric.Add(linklayer.NewEngine(n.Sim, name, n.Config.Link, n.devices[a], n.devices[b]))
-	n.Graph.AddLink(a, b, n.Config.Link)
+	n.Classical.Connect(netsim.NodeID(a), netsim.NodeID(b), link.PropagationDelay())
+	n.Fabric.Add(linklayer.NewEngine(n.Sim, name, link, n.devices[a], n.devices[b]))
+	n.Graph.AddLink(a, b, link)
 }
 
-// Start freezes the topology and wires the protocol stack.
+// Start freezes the topology and wires the protocol stack. Nodes are wired
+// in sorted-ID order: iterating the devices map here would make core-node
+// creation and classical-handler registration order vary between process
+// runs, which is exactly the kind of hidden nondeterminism the simulator
+// exists to exclude (see TestStartOrderDeterminism).
 func (n *Network) Start() {
 	if n.started {
 		return
 	}
 	n.started = true
-	var cores []*core.Node
-	for id, dev := range n.devices {
-		node := core.NewNode(n.Sim, n.Classical, dev, n.Fabric)
+	ids := make([]string, 0, len(n.devices))
+	for id := range n.devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	cores := make([]*core.Node, 0, len(ids))
+	for _, id := range ids {
+		node := core.NewNode(n.Sim, n.Classical, n.devices[id], n.Fabric)
 		n.nodes[id] = node
 		cores = append(cores, node)
 	}
 	n.signaler = signaling.New(n.Classical, cores)
-	for id := range n.nodes {
+	for _, id := range ids {
 		n.installDispatcher(id)
 	}
 }
@@ -316,12 +359,10 @@ func (n *Network) EstablishPlan(id CircuitID, plan Plan) (*Circuit, error) {
 		return nil, err
 	}
 	// Drive the installation round trip (twice the path delay plus slack).
+	// Stepping is bounded: only events at or before the deadline may fire,
+	// so a failed confirm can never silently overshoot virtual time.
 	deadline := n.Sim.Now().Add(n.Classical.PathDelay(toNodeIDs(plan.Path)).Scale(4) + sim.Millisecond)
-	for !n.signaler.Ready(id) && n.Sim.Now() < deadline {
-		if !n.Sim.Step() {
-			n.Sim.RunUntil(deadline)
-			break
-		}
+	for !n.signaler.Ready(id) && n.Sim.StepUntil(deadline) {
 	}
 	if !n.signaler.Ready(id) {
 		return nil, fmt.Errorf("qnet: circuit %q installation did not confirm", id)

@@ -1,0 +1,595 @@
+package qnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"qnp/internal/hardware"
+	"qnp/internal/runner"
+	"qnp/internal/sim"
+)
+
+// TopologyKind selects a built-in topology generator.
+type TopologyKind int
+
+// Built-in topology kinds.
+const (
+	TopoChain TopologyKind = iota
+	TopoDumbbell
+	TopoRing
+	TopoStar
+	TopoGrid
+	TopoWaxman
+	TopoCustom
+)
+
+// TopologySpec declares a scenario's network shape. The zero value is
+// invalid; use the constructors (ChainTopo, DumbbellTopo, ...) or fill the
+// fields for the chosen Kind. Per-link fibre lengths come from
+// Config.LinkLengthM, so one spec expresses both uniform and heterogeneous
+// plants.
+type TopologySpec struct {
+	Kind TopologyKind
+	// Nodes sizes chains, rings, stars and Waxman graphs.
+	Nodes int
+	// Rows and Cols size grids.
+	Rows, Cols int
+	// Alpha and Beta are the Waxman parameters (0 = the customary 0.4).
+	Alpha, Beta float64
+	// Build constructs a started custom network (Kind TopoCustom).
+	Build func(Config) *Network
+}
+
+// ChainTopo declares a k-node chain.
+func ChainTopo(k int) TopologySpec { return TopologySpec{Kind: TopoChain, Nodes: k} }
+
+// DumbbellTopo declares the paper's Fig. 7 dumbbell.
+func DumbbellTopo() TopologySpec { return TopologySpec{Kind: TopoDumbbell} }
+
+// RingTopo declares a k-node ring.
+func RingTopo(k int) TopologySpec { return TopologySpec{Kind: TopoRing, Nodes: k} }
+
+// StarTopo declares a k-node star (hub n0).
+func StarTopo(k int) TopologySpec { return TopologySpec{Kind: TopoStar, Nodes: k} }
+
+// GridTopo declares a rows×cols lattice.
+func GridTopo(rows, cols int) TopologySpec {
+	return TopologySpec{Kind: TopoGrid, Rows: rows, Cols: cols}
+}
+
+// WaxmanTopo declares a k-node Waxman random graph.
+func WaxmanTopo(k int, alpha, beta float64) TopologySpec {
+	return TopologySpec{Kind: TopoWaxman, Nodes: k, Alpha: alpha, Beta: beta}
+}
+
+// CustomTopo declares a hand-built topology; build must return a started
+// network.
+func CustomTopo(build func(Config) *Network) TopologySpec {
+	return TopologySpec{Kind: TopoCustom, Build: build}
+}
+
+// materialize builds and starts the declared network.
+func (t TopologySpec) materialize(cfg Config) (*Network, error) {
+	switch t.Kind {
+	case TopoChain:
+		if t.Nodes < 2 {
+			return nil, fmt.Errorf("qnet: chain topology needs ≥ 2 nodes (got %d)", t.Nodes)
+		}
+		return Chain(cfg, t.Nodes), nil
+	case TopoDumbbell:
+		return Dumbbell(cfg), nil
+	case TopoRing:
+		if t.Nodes < 3 {
+			return nil, fmt.Errorf("qnet: ring topology needs ≥ 3 nodes (got %d)", t.Nodes)
+		}
+		return Ring(cfg, t.Nodes), nil
+	case TopoStar:
+		if t.Nodes < 2 {
+			return nil, fmt.Errorf("qnet: star topology needs ≥ 2 nodes (got %d)", t.Nodes)
+		}
+		return Star(cfg, t.Nodes), nil
+	case TopoGrid:
+		if t.Rows < 1 || t.Cols < 1 || t.Rows*t.Cols < 2 {
+			return nil, fmt.Errorf("qnet: grid topology needs ≥ 2 nodes (got %dx%d)", t.Rows, t.Cols)
+		}
+		return Grid(cfg, t.Rows, t.Cols), nil
+	case TopoWaxman:
+		if t.Nodes < 2 {
+			return nil, fmt.Errorf("qnet: waxman topology needs ≥ 2 nodes (got %d)", t.Nodes)
+		}
+		return RandomGraph(cfg, t.Nodes, t.Alpha, t.Beta), nil
+	case TopoCustom:
+		if t.Build == nil {
+			return nil, fmt.Errorf("qnet: custom topology without Build")
+		}
+		return t.Build(cfg), nil
+	}
+	return nil, fmt.Errorf("qnet: unknown topology kind %d", t.Kind)
+}
+
+// A Selector derives circuit endpoints from the materialized topology, so
+// scenarios stay valid across shapes and seeds. The rng is the scenario's
+// selection stream — deterministic per seed and disjoint from the physics
+// stream.
+type Selector func(net *Network, rng *rand.Rand) [][2]string
+
+// DiameterPair selects the topology's farthest node pair — its hardest
+// circuit.
+func DiameterPair() Selector {
+	return func(net *Network, _ *rand.Rand) [][2]string {
+		src, dst, _ := net.Diameter()
+		return [][2]string{{src, dst}}
+	}
+}
+
+// RandomPairs selects k distinct unordered node pairs uniformly at random
+// (clamped to the number of pairs the topology has).
+func RandomPairs(k int) Selector {
+	return func(net *Network, rng *rand.Rand) [][2]string {
+		ids := net.NodeIDs()
+		if max := len(ids) * (len(ids) - 1) / 2; k > max {
+			k = max
+		}
+		seen := make(map[[2]string]bool, k)
+		out := make([][2]string, 0, k)
+		for len(out) < k {
+			i, j := rng.Intn(len(ids)), rng.Intn(len(ids))
+			if i == j {
+				continue
+			}
+			p := [2]string{ids[i], ids[j]}
+			if p[0] > p[1] {
+				p[0], p[1] = p[1], p[0]
+			}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+		return out
+	}
+}
+
+// CircuitSpec declares one circuit of a scenario: its endpoints (explicit,
+// or derived by a Selector — which may expand the spec into several
+// circuits), the end-to-end fidelity target and cutoff policy, the
+// workload that drives it, and optional application handlers that ride on
+// top of the scenario's metrics recording.
+type CircuitSpec struct {
+	// ID names the circuit (default c<i>). Selector expansions beyond one
+	// pair get -<j> suffixes.
+	ID CircuitID
+	// Src and Dst are explicit endpoints; Select derives them instead.
+	Src, Dst string
+	Select   Selector
+	// Fidelity is the end-to-end target handed to the routing controller.
+	Fidelity float64
+	// Policy and ManualCutoff select the cutoff rule (default CutoffLong).
+	Policy       CutoffPolicy
+	ManualCutoff sim.Duration
+	// MaxEER overrides the circuit's end-to-end rate allocation for
+	// policing/shaping (0 keeps the controller's allocation, which is
+	// itself 0 unless Config.EnforceEER is on).
+	MaxEER float64
+	// Plan bypasses the routing controller with a hand-built plan — the
+	// paper does this for the near-term evaluation (§5.3).
+	Plan *Plan
+	// Workload drives requests; nil establishes an idle circuit.
+	Workload Workload
+	// Head and Tail are application callbacks layered over the metrics
+	// recording. Handlers keep their AutoConsume semantics: a circuit
+	// whose handlers do not take ownership of delivered qubits has them
+	// freed automatically.
+	Head, Tail Handlers
+	// RecordFidelity records each delivery's exact pair fidelity and
+	// declared Bell state in the metrics (costs one 4×4 fidelity
+	// computation per delivery; never touches the physics random stream).
+	RecordFidelity bool
+	// Optional records establishment failure in the metrics instead of
+	// failing the run — for sweeps over topologies where the routing
+	// controller may find no feasible plan.
+	Optional bool
+}
+
+// Scenario is the declarative experiment unit: a topology, circuits with
+// workloads, and a run budget. Run executes it once on Config.Seed;
+// RunReplicated fans independent replicas across a worker pool. The
+// simulation event order is a pure function of the scenario value, so any
+// result is reproducible from its seed.
+type Scenario struct {
+	Name string
+	// Config selects hardware and seed; the zero value means
+	// DefaultConfig() (with Seed kept if set).
+	Config   Config
+	Topology TopologySpec
+	Circuits []CircuitSpec
+	// Horizon bounds the traffic phase in virtual time (it excludes
+	// circuit installation).
+	Horizon sim.Duration
+	// WaitFor stops the run as soon as the listed circuits have completed
+	// every finite request submitted to them (the horizon still caps the
+	// run). Open-ended requests never complete and are not waited for.
+	WaitFor []CircuitID
+	// Sequential brings circuits up one at a time — establish, handlers,
+	// workload — so earlier circuits carry traffic while later ones
+	// install, as in the paper's §5.2 runs. The default establishes all
+	// circuits first, then opens traffic together.
+	Sequential bool
+	// ProcessingDelay is applied to every classical message once traffic
+	// opens (the Fig. 10c knob); installation runs undelayed.
+	ProcessingDelay sim.Duration
+	// Setup, when set, is called with the started network before any
+	// circuit establishes — the hook for handlers that need device or
+	// clock access.
+	Setup func(*Network)
+	// Context, when non-nil, aborts the run loop early (partial metrics
+	// are returned).
+	Context context.Context
+}
+
+// Result is a single scenario run: the unified metrics plus the live
+// network and circuits for post-run inspection.
+type Result struct {
+	Metrics *Metrics
+	Net     *Network
+	circs   map[CircuitID]*Circuit
+}
+
+// VC returns a live established circuit by ID (nil if unknown or failed).
+func (r *Result) VC(id CircuitID) *Circuit { return r.circs[id] }
+
+// effectiveConfig fills unset Config fields with the paper's defaults,
+// field by field, so a scenario that sets only (say) a seed or a qubit
+// count keeps everything else it declared.
+func (sc Scenario) effectiveConfig() Config {
+	cfg := sc.Config
+	if cfg.Params == (hardware.Params{}) {
+		cfg.Params = DefaultConfig().Params
+	}
+	if cfg.Link == (hardware.LinkConfig{}) {
+		cfg.Link = DefaultConfig().Link
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// liveCircuit is the engine's per-circuit runtime state.
+type liveCircuit struct {
+	spec CircuitSpec
+	id   CircuitID
+	src  string
+	dst  string
+	vc   *Circuit
+	cm   *CircuitMetrics
+	ctx  *WorkloadContext
+}
+
+// Run executes the scenario once and returns its metrics. Establishment
+// errors fail the run unless the circuit is Optional; workload submission
+// errors always fail it.
+func (sc Scenario) Run() (*Result, error) {
+	cfg := sc.effectiveConfig()
+	net, err := sc.Topology.materialize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Setup != nil {
+		sc.Setup(net)
+	}
+	m := &Metrics{Name: sc.Name, byID: make(map[CircuitID]*CircuitMetrics)}
+	res := &Result{Metrics: m, Net: net, circs: make(map[CircuitID]*Circuit)}
+
+	// Selector expansion draws from a selection stream derived from the
+	// seed — never from the simulation's physics stream.
+	selRand := rand.New(rand.NewSource(cfg.Seed*runner.SeedStride + 104729))
+	var live []*liveCircuit
+	for _, spec := range sc.Circuits {
+		var pairs [][2]string
+		switch {
+		case spec.Plan != nil:
+			p := spec.Plan.Path
+			if len(p) < 2 {
+				return nil, fmt.Errorf("qnet: scenario circuit %q: manual plan path too short", spec.ID)
+			}
+			pairs = [][2]string{{p[0], p[len(p)-1]}}
+		case spec.Select != nil:
+			pairs = spec.Select(net, selRand)
+		default:
+			pairs = [][2]string{{spec.Src, spec.Dst}}
+		}
+		for j, p := range pairs {
+			id := spec.ID
+			if id == "" {
+				id = CircuitID(fmt.Sprintf("c%d", len(live)))
+			} else if len(pairs) > 1 {
+				id = CircuitID(fmt.Sprintf("%s-%d", id, j))
+			}
+			if _, dup := m.byID[id]; dup {
+				return nil, fmt.Errorf("qnet: scenario declares circuit %q twice", id)
+			}
+			cm := &CircuitMetrics{ID: id, Src: p[0], Dst: p[1], reqByID: make(map[RequestID]*RequestMetrics)}
+			m.Circuits = append(m.Circuits, cm)
+			m.byID[id] = cm
+			lc := &liveCircuit{spec: spec, id: id, src: p[0], dst: p[1], cm: cm}
+			lc.ctx = &WorkloadContext{
+				Net:     net,
+				Sim:     net.Sim,
+				Rand:    rand.New(rand.NewSource(cfg.Seed*runner.SeedStride + 2*int64(len(live)) + 1)),
+				Horizon: sc.Horizon,
+				cm:      cm,
+			}
+			live = append(live, lc)
+		}
+	}
+	for _, id := range sc.WaitFor {
+		if m.byID[id] == nil {
+			return nil, fmt.Errorf("qnet: WaitFor names unknown circuit %q", id)
+		}
+	}
+
+	if sc.Sequential {
+		// Bring-up interleaves with traffic: each circuit's workload opens
+		// before the next circuit installs.
+		for _, lc := range live {
+			if err := sc.establish(net, lc); err != nil {
+				return res, err
+			}
+			if lc.vc != nil {
+				res.circs[lc.id] = lc.vc
+			}
+			sc.attach(lc)
+			if lc.vc == nil || lc.spec.Workload == nil {
+				continue
+			}
+			for _, req := range lc.spec.Workload.Immediate(lc.ctx) {
+				if err := lc.ctx.Submit(req); err != nil {
+					return res, fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err)
+				}
+			}
+			lc.spec.Workload.Start(lc.ctx)
+		}
+	} else {
+		for _, lc := range live {
+			if err := sc.establish(net, lc); err != nil {
+				return res, err
+			}
+			if lc.vc != nil {
+				res.circs[lc.id] = lc.vc
+			}
+		}
+		for _, lc := range live {
+			sc.attach(lc)
+		}
+		// Immediate phase: breadth-first across circuits, so simultaneous
+		// batches interleave like a round-robin submission loop.
+		immediates := make([][]Request, len(live))
+		for i, lc := range live {
+			if lc.vc != nil && lc.spec.Workload != nil {
+				immediates[i] = lc.spec.Workload.Immediate(lc.ctx)
+			}
+		}
+		for k := 0; ; k++ {
+			any := false
+			for i, lc := range live {
+				if k < len(immediates[i]) {
+					any = true
+					if err := lc.ctx.Submit(immediates[i][k]); err != nil {
+						return res, fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err)
+					}
+				}
+			}
+			if !any {
+				break
+			}
+		}
+		for _, lc := range live {
+			if lc.vc != nil && lc.spec.Workload != nil {
+				lc.spec.Workload.Start(lc.ctx)
+			}
+		}
+	}
+
+	if sc.ProcessingDelay > 0 {
+		net.Classical.SetProcessingDelay(sc.ProcessingDelay)
+	}
+
+	t0 := net.Sim.Now()
+	m.Start = t0
+	deadline := t0.Add(sc.Horizon)
+	ctx := sc.Context
+	if len(sc.WaitFor) > 0 {
+		// Early-stop runs step by step; like the experiment loops it
+		// replaces, the final step may carry the clock past the horizon.
+		for !m.waitSatisfied(sc.WaitFor) && net.Sim.Now() < deadline {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
+			if !net.Sim.Step() {
+				break
+			}
+		}
+	} else if ctx == nil {
+		net.Sim.RunUntil(deadline)
+	} else {
+		for ctx.Err() == nil && net.Sim.StepUntil(deadline) {
+		}
+		if ctx.Err() == nil {
+			net.Sim.RunUntil(deadline) // pin the clock to the horizon
+		}
+	}
+	m.End = net.Sim.Now()
+
+	m.Nodes = len(net.NodeIDs())
+	m.Links = net.LinkCount()
+	m.ClassicalMessages = net.Classical.Stats().MessagesSent
+	m.NodeStats = make(map[string]NodeStats, m.Nodes)
+	for _, id := range net.NodeIDs() {
+		m.NodeStats[id] = net.Node(id).Stats()
+	}
+	return res, nil
+}
+
+// establish installs one circuit (controller-planned or manual).
+func (sc Scenario) establish(net *Network, lc *liveCircuit) error {
+	var vc *Circuit
+	var err error
+	if lc.spec.Plan != nil {
+		vc, err = net.EstablishPlan(lc.id, *lc.spec.Plan)
+	} else {
+		opts := &CircuitOptions{
+			Policy:       lc.spec.Policy,
+			ManualCutoff: lc.spec.ManualCutoff,
+			MaxEER:       lc.spec.MaxEER,
+		}
+		vc, err = net.Establish(lc.id, lc.src, lc.dst, lc.spec.Fidelity, opts)
+	}
+	if err != nil {
+		lc.cm.Err = err.Error()
+		if lc.spec.Optional {
+			return nil
+		}
+		return fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err)
+	}
+	lc.vc = vc
+	lc.ctx.Circuit = vc
+	lc.ctx.Start = net.Sim.Now()
+	lc.cm.Established = true
+	lc.cm.Plan = vc.Plan
+	lc.cm.Path = append([]string(nil), vc.Plan.Path...)
+	return nil
+}
+
+// attach layers the metrics recorder under the spec's application handlers
+// at both ends. In non-sequential runs every circuit's traffic opens at
+// the same instant, so Start is re-pinned when traffic begins.
+func (sc Scenario) attach(lc *liveCircuit) {
+	if lc.vc == nil {
+		return
+	}
+	lc.ctx.Start = lc.ctx.Sim.Now()
+	lc.vc.HandleHead(lc.headHandlers())
+	lc.vc.HandleTail(lc.tailHandlers())
+}
+
+// headHandlers wraps the user's head-end handlers with metrics recording.
+// AutoConsume keeps its dispatcher semantics: the pair is freed after the
+// callback unless the user's handlers take ownership.
+func (lc *liveCircuit) headHandlers() Handlers {
+	user := lc.spec.Head
+	cm := lc.cm
+	record := lc.spec.RecordFidelity
+	h := Handlers{
+		AutoConsume: user.AutoConsume || user.OnPair == nil,
+		OnPair: func(d Delivered) {
+			cm.Delivered++
+			cm.DeliveryTimes = append(cm.DeliveryTimes, d.At)
+			if record {
+				f := 0.0
+				if d.Pair != nil {
+					f = d.Pair.FidelityWith(d.At, d.State)
+				}
+				cm.Fidelities = append(cm.Fidelities, f)
+				cm.States = append(cm.States, d.State)
+			}
+			if user.OnPair != nil {
+				user.OnPair(d)
+			}
+		},
+		OnComplete: func(id RequestID) {
+			if rm := cm.request(id); rm != nil && !rm.Done {
+				rm.Done = true
+				rm.CompletedAt = lc.ctx.Sim.Now()
+				if rm.Pairs > 0 {
+					cm.pendingFinite--
+				}
+			}
+			if user.OnComplete != nil {
+				user.OnComplete(id)
+			}
+		},
+		OnReject: func(req Request, reason string) {
+			cm.Rejected++
+			if rm := cm.request(req.ID); rm != nil && !rm.Rejected {
+				rm.Rejected = true
+				if rm.Pairs > 0 && !rm.Done {
+					cm.pendingFinite--
+				}
+			}
+			if user.OnReject != nil {
+				user.OnReject(req, reason)
+			}
+		},
+		OnExpire: func(id RequestID, corr Correlator) {
+			cm.Expired++
+			if user.OnExpire != nil {
+				user.OnExpire(id, corr)
+			}
+		},
+		OnEarlyPair: func(d Delivered) {
+			cm.EarlyDelivered++
+			if user.OnEarlyPair != nil {
+				user.OnEarlyPair(d)
+			}
+		},
+		OnTestEstimate: user.OnTestEstimate,
+	}
+	return h
+}
+
+// tailHandlers passes the user's tail handlers through, counting expiries
+// and keeping the AutoConsume default.
+func (lc *liveCircuit) tailHandlers() Handlers {
+	user := lc.spec.Tail
+	cm := lc.cm
+	h := user
+	h.AutoConsume = user.AutoConsume || user.OnPair == nil
+	h.OnExpire = func(id RequestID, corr Correlator) {
+		cm.Expired++
+		if user.OnExpire != nil {
+			user.OnExpire(id, corr)
+		}
+	}
+	return h
+}
+
+// ReplicaOptions configure a replicated scenario run.
+type ReplicaOptions struct {
+	// Replicas is the number of independent runs (≥ 1).
+	Replicas int
+	// Workers caps the worker pool (0 = NumCPU); it never changes results.
+	Workers int
+	// Seed is the base seed: replica i runs the scenario with seed
+	// runner.DeriveSeed(Seed, i), giving disjoint streams per replica.
+	Seed int64
+	// Progress, when non-nil, ticks after each replica completes.
+	Progress func(done, total int)
+	// Context, when non-nil, cancels remaining replicas; cancelled slots
+	// are nil in the result.
+	Context context.Context
+}
+
+// RunReplicated fans independent replicas of the scenario across a worker
+// pool and returns their metrics in replica order — bit-identical for any
+// worker count. A replica that fails returns a Metrics with Err set rather
+// than aborting its siblings.
+func (sc Scenario) RunReplicated(o ReplicaOptions) ([]*Metrics, error) {
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	ropts := runner.Options{Workers: o.Workers, Seed: o.Seed, Progress: o.Progress, Context: o.Context}
+	return runner.Run(ropts, o.Replicas, func(_ int, seed int64) *Metrics {
+		replica := sc
+		replica.Config = sc.effectiveConfig()
+		replica.Config.Seed = seed
+		replica.Context = o.Context
+		res, err := replica.Run()
+		if err != nil {
+			return &Metrics{Name: sc.Name, Err: err.Error()}
+		}
+		return res.Metrics
+	})
+}
