@@ -68,7 +68,7 @@ type pairSlot struct {
 	corr      linklayer.Correlator
 	idx       quantum.BellIndex // heralded link-pair Bell state
 	qubit     *device.Qubit
-	cutoff    *sim.Event
+	cutoff    sim.Event
 	arrivedAt sim.Time
 	// moving marks a half mid-transfer to a storage qubit (near-term
 	// platform); it cannot be swapped until the move completes.

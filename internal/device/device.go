@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"qnp/internal/hardware"
+	"qnp/internal/linalg"
 	"qnp/internal/quantum"
 	"qnp/internal/sim"
 )
@@ -26,6 +27,11 @@ type Device struct {
 	onFree    []func()
 	// notifying guards against re-entrant free-notification storms.
 	notifying bool
+	// ws pools the small matrices the device's quantum operations burn
+	// through. One workspace per device is safe: all devices of a network
+	// live on one simulation goroutine, and buffers may migrate freely
+	// between the pools of devices in the same simulation.
+	ws *linalg.Workspace
 }
 
 // New creates a device for node id with the given hardware parameters.
@@ -35,8 +41,13 @@ func New(s *sim.Simulation, id string, params hardware.Params) *Device {
 		params: params,
 		sim:    s,
 		rng:    s.Rand(),
+		ws:     linalg.NewWorkspace(),
 	}
 }
+
+// Workspace exposes the device's matrix pool so co-located layers (the link
+// layer materialising fresh pair states) can share it.
+func (d *Device) Workspace() *linalg.Workspace { return d.ws }
 
 // ID returns the node ID.
 func (d *Device) ID() string { return d.id }
@@ -218,13 +229,26 @@ func (d *Device) Swap(q1, q2 *Qubit, done func(merged *Pair, outcome quantum.Bel
 		// its Bell index (|Ψ−> only changes global phase).
 		rho1 := p1.rho
 		if s1 == 0 {
-			rho1 = quantum.ApplyGate2(rho1, quantum.SWAP, 0, 2)
+			rho1 = quantum.ApplyGate2W(d.ws, rho1, quantum.SWAP, 0, 2)
 		}
 		rho2 := p2.rho
 		if s2 == 1 {
-			rho2 = quantum.ApplyGate2(rho2, quantum.SWAP, 0, 2)
+			rho2 = quantum.ApplyGate2W(d.ws, rho2, quantum.SWAP, 0, 2)
 		}
-		res := quantum.Swap(rho1, rho2, d.params.SwapConfig(), d.rng)
+		res := quantum.SwapW(d.ws, rho1, rho2, d.params.SwapConfig(), d.rng)
+		if rho1 != p1.rho {
+			d.ws.Put(rho1)
+		}
+		if rho2 != p2.rho {
+			d.ws.Put(rho2)
+		}
+		// The Bell measurement consumed both input pairs: recycle their
+		// states and nil the fields so a stale read fails fast instead of
+		// observing a recycled buffer.
+		d.ws.Put(p1.rho)
+		p1.rho = nil
+		d.ws.Put(p2.rho)
+		p2.rho = nil
 
 		remote1 := p1.halves[1-s1]
 		remote2 := p2.halves[1-s2]
@@ -234,6 +258,7 @@ func (d *Device) Swap(q1, q2 *Qubit, done func(merged *Pair, outcome quantum.Bel
 		}
 		merged := &Pair{
 			rho:        res.Rho,
+			ws:         d.ws,
 			trueIdx:    quantum.Combine(p1.trueIdx, p2.trueIdx, res.Outcome),
 			createdAt:  created,
 			lastUpdate: now,
@@ -282,7 +307,7 @@ func (d *Device) MoveToStorage(q *Qubit, done func(newQ *Qubit, ok bool)) {
 		}
 		p.AdvanceTo(now)
 		pNoise := 1 - d.params.Gates.TwoQubitFidelity*d.params.Gates.CarbonInitFidelity
-		p.applyLocal(s, quantum.Depolarizing1(pNoise))
+		p.applyDepol1(s, pNoise)
 		old := p.halves[s]
 		storage.pair, storage.side = p, s
 		p.halves[s] = storage
@@ -310,7 +335,8 @@ func (d *Device) MeasureHalf(q *Qubit, basis quantum.Basis, done func(bit int)) 
 			panic(fmt.Sprintf("device %s: measured half vanished mid-flight", d.id))
 		}
 		p.AdvanceTo(now)
-		bit, post := quantum.MeasureInBasis(p.rho, s, 2, basis, d.params.Gates.Readout, d.rng)
+		bit, post := quantum.MeasureInBasisW(d.ws, p.rho, s, 2, basis, d.params.Gates.Readout, d.rng)
+		d.ws.Put(p.rho)
 		p.rho = post
 		p.consumed[s] = true
 		p.releaseHalf(s)
@@ -330,13 +356,12 @@ func (d *Device) ApplyAttemptDephasing(k int) {
 	// k compositions of a phase flip with probability per:
 	// p_k = (1 − (1−2·per)^k)/2.
 	pk := (1 - math.Pow(1-2*per, float64(k))) / 2
-	ch := quantum.PhaseFlip(pk)
 	for _, q := range d.qubits {
 		if q.free || q.kind != Storage || q.pair == nil {
 			continue
 		}
 		q.pair.AdvanceTo(d.sim.Now())
-		q.pair.applyLocal(q.side, ch)
+		q.pair.applyPhaseFlip(q.side, pk)
 	}
 }
 

@@ -77,7 +77,12 @@ func (q *Qubit) Free() bool { return q.free }
 // whose two qubits live at two different nodes. The left qubit is index 0 of
 // the state, the right qubit index 1.
 type Pair struct {
-	rho        *linalg.Matrix
+	rho *linalg.Matrix
+	// ws recycles the pair's density matrices: every operation that replaces
+	// rho returns the old buffer to this pool. It is the workspace of the
+	// device that created the pair (all devices of one network share a
+	// simulation goroutine, so any of their pools is safe to use).
+	ws         *linalg.Workspace
 	trueIdx    quantum.BellIndex
 	halves     [2]*Qubit // a half becomes nil once measured or released
 	createdAt  sim.Time
@@ -97,7 +102,7 @@ func NewPair(now sim.Time, rho *linalg.Matrix, idx quantum.BellIndex, left, righ
 	if left.free || right.free {
 		panic("device: pair over free qubits")
 	}
-	p := &Pair{rho: rho, trueIdx: idx, createdAt: now, lastUpdate: now}
+	p := &Pair{rho: rho, ws: left.dev.ws, trueIdx: idx, createdAt: now, lastUpdate: now}
 	p.halves[0], p.halves[1] = left, right
 	left.pair, left.side = p, 0
 	right.pair, right.side = p, 1
@@ -152,7 +157,11 @@ func (p *Pair) AdvanceTo(now sim.Time) {
 			if q == nil || p.consumed[s] {
 				continue
 			}
-			p.rho = quantum.Decohere(p.rho, s, 2, dt, q.lifetimes.T1, q.lifetimes.T2)
+			next := quantum.DecohereW(p.ws, p.rho, s, 2, dt, q.lifetimes.T1, q.lifetimes.T2)
+			if next != p.rho {
+				p.ws.Put(p.rho)
+				p.rho = next
+			}
 		}
 	}
 	p.lastUpdate = now
@@ -160,16 +169,28 @@ func (p *Pair) AdvanceTo(now sim.Time) {
 
 // StateAt returns a copy of the pair state as it would be at time t, without
 // mutating the pair. This is the simulation-only oracle used by the baseline
-// protocol of §5.2 and by verification tests.
+// protocol of §5.2 and by verification tests. Ownership of the returned
+// matrix transfers to the caller (it never has to be returned to the pool).
 func (p *Pair) StateAt(t sim.Time) *linalg.Matrix {
-	rho := p.rho.Clone()
+	return p.stateAtW(t)
+}
+
+// stateAtW computes the state at time t into a ws matrix the caller must
+// Put back (or keep). It performs the same arithmetic as StateAt.
+func (p *Pair) stateAtW(t sim.Time) *linalg.Matrix {
+	rho := p.ws.GetRaw(p.rho.Rows, p.rho.Cols)
+	copy(rho.Data, p.rho.Data)
 	dt := t.Sub(p.lastUpdate).Seconds()
 	if dt > 0 {
 		for s, q := range p.halves {
 			if q == nil || p.consumed[s] {
 				continue
 			}
-			rho = quantum.Decohere(rho, s, 2, dt, q.lifetimes.T1, q.lifetimes.T2)
+			next := quantum.DecohereW(p.ws, rho, s, 2, dt, q.lifetimes.T1, q.lifetimes.T2)
+			if next != rho {
+				p.ws.Put(rho)
+				rho = next
+			}
 		}
 	}
 	return rho
@@ -177,19 +198,34 @@ func (p *Pair) StateAt(t sim.Time) *linalg.Matrix {
 
 // FidelityAt returns the oracle fidelity with the true Bell index at time t.
 func (p *Pair) FidelityAt(t sim.Time) float64 {
-	return quantum.Fidelity(p.StateAt(t), p.trueIdx)
+	return p.FidelityWith(t, p.trueIdx)
 }
 
 // FidelityWith returns the oracle fidelity against an arbitrary declared
 // Bell index — what an application would actually see given the protocol's
 // (possibly wrong) tracking information.
 func (p *Pair) FidelityWith(t sim.Time, idx quantum.BellIndex) float64 {
-	return quantum.Fidelity(p.StateAt(t), idx)
+	rho := p.stateAtW(t)
+	f := quantum.Fidelity(rho, idx)
+	p.ws.Put(rho)
+	return f
 }
 
-// applyLocal applies a Kraus channel to one side's qubit, in place.
-func (p *Pair) applyLocal(side int, k quantum.Kraus) {
-	p.rho = k.Apply(p.rho, side, 2)
+// applyDepol1 applies single-qubit depolarising noise with probability prob
+// to one side's qubit, in place. The channel comes pre-lifted from the
+// global cache (prob is fixed per device).
+func (p *Pair) applyDepol1(side int, prob float64) {
+	next := quantum.ApplyDepolarizing1W(p.ws, p.rho, prob, side, 2)
+	p.ws.Put(p.rho)
+	p.rho = next
+}
+
+// applyPhaseFlip applies dephasing with probability prob to one side's
+// qubit, in place.
+func (p *Pair) applyPhaseFlip(side int, prob float64) {
+	next := quantum.ApplyPhaseFlipW(p.ws, p.rho, prob, side, 2)
+	p.ws.Put(p.rho)
+	p.rho = next
 }
 
 // ApplyPauli applies a Pauli correction to one side (used by the head-end's
@@ -197,10 +233,14 @@ func (p *Pair) applyLocal(side int, k quantum.Kraus) {
 // caller's business; the true index flips accordingly.
 func (p *Pair) ApplyPauli(side int, x, z uint8) {
 	if x == 1 {
-		p.rho = quantum.ApplyGate1(p.rho, quantum.X, side, 2)
+		next := quantum.ApplyGate1W(p.ws, p.rho, quantum.X, side, 2)
+		p.ws.Put(p.rho)
+		p.rho = next
 	}
 	if z == 1 {
-		p.rho = quantum.ApplyGate1(p.rho, quantum.Z, side, 2)
+		next := quantum.ApplyGate1W(p.ws, p.rho, quantum.Z, side, 2)
+		p.ws.Put(p.rho)
+		p.rho = next
 	}
 	p.trueIdx ^= quantum.BellIndex(x) | quantum.BellIndex(z)<<1
 }

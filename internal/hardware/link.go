@@ -128,32 +128,55 @@ func (m PairModel) Fidelity() float64 {
 // State materialises the produced 4×4 density matrix for heralded Bell
 // index idx (Ψ+ or Ψ−; the detector that clicks selects the sign).
 func (m PairModel) State(idx quantum.BellIndex) *linalg.Matrix {
-	psi := quantum.BellProjector(idx)
+	return m.StateW(nil, idx)
+}
+
+// identity4 is the shared read-only 4×4 identity for StateW's dark-count
+// term.
+var identity4 = linalg.Identity(4)
+
+// StateW is the workspace-threaded State: scratch comes from ws and the
+// returned state is a fresh ws matrix whose ownership transfers to the
+// caller (it becomes the new pair's long-lived density matrix). Results are
+// bit-identical to State.
+func (m PairModel) StateW(ws *linalg.Workspace, idx quantum.BellIndex) *linalg.Matrix {
 	// Dephased Ψ component: v·|Ψ><Ψ| + (1−v)·(|Ψ_+><Ψ_+|+|Ψ_-><Ψ_-|)/2,
 	// which equals the fully dephased {|01>,|10>} mixture at v=0.
 	other := idx ^ 2 // flip the phase bit: Ψ+ ↔ Ψ−
-	dep := linalg.Add(
-		linalg.Scale(complex((1+m.V)/2, 0), psi),
-		linalg.Scale(complex((1-m.V)/2, 0), quantum.BellProjector(other)),
-	)
-	bright := linalg.New(4, 4)
+	dep := ws.GetRaw(4, 4)
+	t := ws.GetRaw(4, 4)
+	linalg.ScaleInto(dep, complex((1+m.V)/2, 0), quantum.BellProjectorCached(idx))
+	linalg.ScaleInto(t, complex((1-m.V)/2, 0), quantum.BellProjectorCached(other))
+	dep.AddInPlace(t)
+	bright := ws.Get(4, 4)
 	bright.Set(3, 3, 1) // |11><11|
-	rho := linalg.Add(
-		linalg.Scale(complex((1-m.WDark)*m.G, 0), dep),
-		linalg.Scale(complex((1-m.WDark)*(1-m.G), 0), bright),
-	)
-	rho.AddInPlace(linalg.Scale(complex(m.WDark/4, 0), linalg.Identity(4)))
+	rho := ws.GetRaw(4, 4)
+	linalg.ScaleInto(dep, complex((1-m.WDark)*m.G, 0), dep)
+	linalg.ScaleInto(bright, complex((1-m.WDark)*(1-m.G), 0), bright)
+	linalg.AddInto(rho, dep, bright)
+	linalg.ScaleInto(t, complex(m.WDark/4, 0), identity4)
+	rho.AddInPlace(t)
+	ws.Put(dep)
+	ws.Put(t)
+	ws.Put(bright)
 	return rho
 }
 
 // Generate samples one heralded pair: the Bell index (Ψ+ or Ψ− with equal
 // probability, chosen by which detector clicked) and the produced state.
 func (l LinkConfig) Generate(p Params, alpha float64, rng *rand.Rand) (*linalg.Matrix, quantum.BellIndex) {
+	rho, idx := l.GenerateW(nil, p, alpha, rng)
+	return rho, idx
+}
+
+// GenerateW is the workspace-threaded Generate; the returned state is a ws
+// matrix owned by the caller.
+func (l LinkConfig) GenerateW(ws *linalg.Workspace, p Params, alpha float64, rng *rand.Rand) (*linalg.Matrix, quantum.BellIndex) {
 	idx := quantum.PsiPlus
 	if rng.Intn(2) == 1 {
 		idx = quantum.PsiMinus
 	}
-	return l.Model(p, alpha).State(idx), idx
+	return l.Model(p, alpha).StateW(ws, idx), idx
 }
 
 // MaxFidelity returns the largest fidelity this link can produce and the α

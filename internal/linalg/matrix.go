@@ -6,6 +6,14 @@
 // general numerics library: the quantum engine composes thousands of small
 // matrix products per simulated entanglement swap, and everything stays in
 // plain []complex128 with row-major layout.
+//
+// Every allocating operation has a destination-passing twin (MulInto,
+// KronInto, AddInto, ScaleInto, ConjTransposeInto, PartialTraceInto) that
+// writes into a caller-provided matrix, and Workspace provides a
+// size-bucketed pool those destinations come from. The allocating forms are
+// thin wrappers over the Into forms, so both produce bit-identical results.
+// See Workspace for the ownership rules: who may hold a matrix across calls,
+// and when it must be returned to the pool.
 package linalg
 
 import (
@@ -76,15 +84,31 @@ func (m *Matrix) Clone() *Matrix {
 // IsSquare reports whether the matrix is square.
 func (m *Matrix) IsSquare() bool { return m.Rows == m.Cols }
 
+// Zero sets every element to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
 // Mul returns a·b.
 func Mul(a, b *Matrix) *Matrix {
+	return MulInto(New(a.Rows, b.Cols), a, b)
+}
+
+// MulInto computes a·b into dst and returns dst. dst must have shape
+// a.Rows×b.Cols and must not alias a or b.
+func MulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
+	mustShape("MulInto", dst, a.Rows, b.Cols)
+	mustNotAlias("MulInto", dst, a)
+	mustNotAlias("MulInto", dst, b)
+	dst.Zero()
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 		for k, av := range arow {
 			if av == 0 {
 				continue
@@ -95,13 +119,18 @@ func Mul(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MulChain multiplies matrices left to right: MulChain(a,b,c) = a·b·c.
+// The result is always a fresh matrix: MulChain(a) returns a clone of a, so
+// callers may freely mutate the result without corrupting the argument.
 func MulChain(ms ...*Matrix) *Matrix {
 	if len(ms) == 0 {
 		panic("linalg: MulChain of nothing")
+	}
+	if len(ms) == 1 {
+		return ms[0].Clone()
 	}
 	out := ms[0]
 	for _, m := range ms[1:] {
@@ -112,12 +141,17 @@ func MulChain(ms ...*Matrix) *Matrix {
 
 // Add returns a+b.
 func Add(a, b *Matrix) *Matrix {
-	mustSameShape("Add", a, b)
-	out := New(a.Rows, a.Cols)
+	return AddInto(New(a.Rows, a.Cols), a, b)
+}
+
+// AddInto computes a+b into dst and returns dst. dst may alias a or b.
+func AddInto(dst, a, b *Matrix) *Matrix {
+	mustSameShape("AddInto", a, b)
+	mustShape("AddInto", dst, a.Rows, a.Cols)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+		dst.Data[i] = a.Data[i] + b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Sub returns a-b.
@@ -140,11 +174,16 @@ func (m *Matrix) AddInPlace(b *Matrix) {
 
 // Scale returns s·m.
 func Scale(s complex128, m *Matrix) *Matrix {
-	out := New(m.Rows, m.Cols)
+	return ScaleInto(New(m.Rows, m.Cols), s, m)
+}
+
+// ScaleInto computes s·m into dst and returns dst. dst may alias m.
+func ScaleInto(dst *Matrix, s complex128, m *Matrix) *Matrix {
+	mustShape("ScaleInto", dst, m.Rows, m.Cols)
 	for i, v := range m.Data {
-		out.Data[i] = s * v
+		dst.Data[i] = s * v
 	}
-	return out
+	return dst
 }
 
 // ScaleInPlace multiplies every element by s.
@@ -156,13 +195,20 @@ func (m *Matrix) ScaleInPlace(s complex128) {
 
 // Adjoint returns the conjugate transpose m†.
 func Adjoint(m *Matrix) *Matrix {
-	out := New(m.Cols, m.Rows)
+	return ConjTransposeInto(New(m.Cols, m.Rows), m)
+}
+
+// ConjTransposeInto computes m† into dst and returns dst. dst must have
+// shape m.Cols×m.Rows and must not alias m.
+func ConjTransposeInto(dst, m *Matrix) *Matrix {
+	mustShape("ConjTransposeInto", dst, m.Cols, m.Rows)
+	mustNotAlias("ConjTransposeInto", dst, m)
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
-			out.Data[j*out.Cols+i] = cmplx.Conj(m.Data[i*m.Cols+j])
+			dst.Data[j*dst.Cols+i] = cmplx.Conj(m.Data[i*m.Cols+j])
 		}
 	}
-	return out
+	return dst
 }
 
 // Transpose returns mᵀ without conjugation.
@@ -178,7 +224,16 @@ func Transpose(m *Matrix) *Matrix {
 
 // Kron returns the tensor (Kronecker) product a⊗b.
 func Kron(a, b *Matrix) *Matrix {
-	out := New(a.Rows*b.Rows, a.Cols*b.Cols)
+	return KronInto(New(a.Rows*b.Rows, a.Cols*b.Cols), a, b)
+}
+
+// KronInto computes a⊗b into dst and returns dst. dst must have shape
+// (a.Rows·b.Rows)×(a.Cols·b.Cols) and must not alias a or b.
+func KronInto(dst, a, b *Matrix) *Matrix {
+	mustShape("KronInto", dst, a.Rows*b.Rows, a.Cols*b.Cols)
+	mustNotAlias("KronInto", dst, a)
+	mustNotAlias("KronInto", dst, b)
+	dst.Zero()
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < a.Cols; j++ {
 			av := a.Data[i*a.Cols+j]
@@ -186,15 +241,15 @@ func Kron(a, b *Matrix) *Matrix {
 				continue
 			}
 			for k := 0; k < b.Rows; k++ {
-				base := (i*b.Rows+k)*out.Cols + j*b.Cols
+				base := (i*b.Rows+k)*dst.Cols + j*b.Cols
 				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 				for l, bv := range brow {
-					out.Data[base+l] = av * bv
+					dst.Data[base+l] = av * bv
 				}
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // KronChain folds Kron left to right: KronChain(a,b,c) = a⊗b⊗c.
@@ -224,7 +279,20 @@ func Trace(m *Matrix) complex128 {
 // keep[i] reports whether subsystem i survives. The input must be square with
 // size equal to the product of dims.
 func PartialTrace(m *Matrix, dims []int, keep []bool) *Matrix {
-	mustSquare("PartialTrace", m)
+	keptDim := 1
+	for i, k := range keep {
+		if k {
+			keptDim *= dims[i]
+		}
+	}
+	return PartialTraceInto(New(keptDim, keptDim), m, dims, keep)
+}
+
+// PartialTraceInto computes the partial trace into dst and returns dst. dst
+// must be square with size equal to the product of the kept dims and must
+// not alias m. See PartialTrace for the semantics of dims and keep.
+func PartialTraceInto(dst, m *Matrix, dims []int, keep []bool) *Matrix {
+	mustSquare("PartialTraceInto", m)
 	if len(dims) != len(keep) {
 		panic("linalg: dims/keep length mismatch")
 	}
@@ -241,30 +309,39 @@ func PartialTrace(m *Matrix, dims []int, keep []bool) *Matrix {
 			keptDim *= dims[i]
 		}
 	}
-	out := New(keptDim, keptDim)
+	mustShape("PartialTraceInto", dst, keptDim, keptDim)
+	mustNotAlias("PartialTraceInto", dst, m)
+	dst.Zero()
+	st := ptState{m: m, out: dst, dims: dims, keep: keep, keptDim: keptDim}
+	st.rec(0, 0, 0, 0, 0)
+	return dst
+}
 
-	n := len(dims)
-	// Iterate over all (row, col) pairs of the input; fold into the output
-	// when the traced-out indices coincide.
-	var rec func(pos, rowKept, colKept, rowFull, colFull int)
-	rec = func(pos, rowKept, colKept, rowFull, colFull int) {
-		if pos == n {
-			out.Data[rowKept*keptDim+colKept] += m.Data[rowFull*m.Cols+colFull]
-			return
-		}
-		d := dims[pos]
-		for a := 0; a < d; a++ {
-			for b := 0; b < d; b++ {
-				if keep[pos] {
-					rec(pos+1, rowKept*d+a, colKept*d+b, rowFull*d+a, colFull*d+b)
-				} else if a == b {
-					rec(pos+1, rowKept, colKept, rowFull*d+a, colFull*d+b)
-				}
+// ptState carries the partial-trace recursion without a heap-allocated
+// closure; the recursion visits all (row, col) pairs of the input and folds
+// into the output when the traced-out indices coincide.
+type ptState struct {
+	m, out  *Matrix
+	dims    []int
+	keep    []bool
+	keptDim int
+}
+
+func (st *ptState) rec(pos, rowKept, colKept, rowFull, colFull int) {
+	if pos == len(st.dims) {
+		st.out.Data[rowKept*st.keptDim+colKept] += st.m.Data[rowFull*st.m.Cols+colFull]
+		return
+	}
+	d := st.dims[pos]
+	for a := 0; a < d; a++ {
+		for b := 0; b < d; b++ {
+			if st.keep[pos] {
+				st.rec(pos+1, rowKept*d+a, colKept*d+b, rowFull*d+a, colFull*d+b)
+			} else if a == b {
+				st.rec(pos+1, rowKept, colKept, rowFull*d+a, colFull*d+b)
 			}
 		}
 	}
-	rec(0, 0, 0, 0, 0)
-	return out
 }
 
 // OuterProduct returns |v><w| for column vectors v, w.
@@ -388,6 +465,21 @@ func mustSameShape(op string, a, b *Matrix) {
 func mustSquare(op string, m *Matrix) {
 	if !m.IsSquare() {
 		panic(fmt.Sprintf("linalg: %s needs square matrix, got %d×%d", op, m.Rows, m.Cols))
+	}
+}
+
+func mustShape(op string, m *Matrix, rows, cols int) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("linalg: %s dst shape %d×%d, want %d×%d", op, m.Rows, m.Cols, rows, cols))
+	}
+}
+
+// mustNotAlias rejects a dst that shares its buffer with an input. Buffers
+// come from distinct allocations, so comparing the first element's address
+// is sufficient — partial overlap cannot occur.
+func mustNotAlias(op string, dst, src *Matrix) {
+	if len(dst.Data) > 0 && len(src.Data) > 0 && &dst.Data[0] == &src.Data[0] {
+		panic(fmt.Sprintf("linalg: %s dst aliases an input", op))
 	}
 }
 

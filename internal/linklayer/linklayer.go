@@ -83,7 +83,7 @@ func (r *request) active() bool { return r.registered[0] && r.registered[1] }
 type round struct {
 	req    *request
 	qubits [2]*device.Qubit
-	event  *sim.Event
+	event  sim.Event
 	start  sim.Time
 	k      int
 }
@@ -113,7 +113,7 @@ type Engine struct {
 	// electron cannot generate while a gate runs.
 	exclusive bool
 	// retry wakes the dispatcher when an exclusivity wait expires.
-	retry *sim.Event
+	retry sim.Event
 }
 
 // NewEngine creates the generation engine for the link between a and b.
@@ -288,10 +288,8 @@ func (e *Engine) dispatch() {
 	if e.current != nil {
 		return
 	}
-	if e.retry != nil {
-		e.sim.Cancel(e.retry)
-		e.retry = nil
-	}
+	e.sim.Cancel(e.retry)
+	e.retry = sim.Event{}
 	if e.exclusive {
 		// The electron is also the gate qubit: wait out local operations.
 		var until sim.Time
@@ -366,7 +364,7 @@ func (e *Engine) complete(cur *round) {
 	for _, d := range e.devs {
 		d.ApplyAttemptDephasing(cur.k)
 	}
-	rho, idx := e.cfg.Generate(e.devs[0].Params(), r.alpha, e.sim.Rand())
+	rho, idx := e.cfg.GenerateW(e.devs[0].Workspace(), e.devs[0].Params(), r.alpha, e.sim.Rand())
 	pair := device.NewPair(e.sim.Now(), rho, idx, cur.qubits[0], cur.qubits[1])
 	corr := Correlator{Link: e.name, Seq: e.seq}
 	e.seq++

@@ -3,6 +3,7 @@ package quantum
 import (
 	"fmt"
 	"math"
+	"math/cmplx"
 
 	"qnp/internal/linalg"
 )
@@ -71,10 +72,33 @@ func BellVector(b BellIndex) *linalg.Matrix {
 	panic("quantum: invalid BellIndex")
 }
 
-// BellProjector returns |B_b><B_b|.
+// BellProjector returns |B_b><B_b|. The result is fresh and may be mutated.
 func BellProjector(b BellIndex) *linalg.Matrix {
 	v := BellVector(b)
 	return linalg.OuterProduct(v, v)
+}
+
+// bellVecCache and bellProjCache hold the four Bell vectors and projectors
+// for read-only hot-path use; they are never handed out for mutation.
+var (
+	bellVecCache  [4]*linalg.Matrix
+	bellProjCache [4]*linalg.Matrix
+)
+
+func init() {
+	for b := BellIndex(0); b < 4; b++ {
+		bellVecCache[b] = BellVector(b)
+		bellProjCache[b] = BellProjector(b)
+	}
+}
+
+// BellProjectorCached returns the shared, read-only projector |B_b><B_b|.
+// Callers must NOT modify the result; use BellProjector for a mutable copy.
+func BellProjectorCached(b BellIndex) *linalg.Matrix {
+	if !b.Valid() {
+		panic("quantum: invalid BellIndex")
+	}
+	return bellProjCache[b]
 }
 
 // BellState returns the density matrix of the pure Bell state b.
@@ -83,11 +107,29 @@ func BellState(b BellIndex) *linalg.Matrix { return BellProjector(b) }
 // Fidelity returns <B_b|ρ|B_b>, the fidelity of a two-qubit state with the
 // pure Bell state b. This is the paper's fidelity metric: 1 means the pair is
 // exactly in the desired state, below 0.5 means it is no longer usable.
+// It is allocation-free: the metric runs on every delivery.
 func Fidelity(rho *linalg.Matrix, b BellIndex) float64 {
 	if rho.Rows != 4 || rho.Cols != 4 {
 		panic("quantum: Fidelity needs a 4×4 density matrix")
 	}
-	return real(linalg.Expectation(rho, BellVector(b)))
+	v := bellVecCache[b]
+	// <v|ρ|v> with the same accumulation order as Expectation(rho, v):
+	// w = ρ·v with the Mul zero-skip, then Σ conj(v_i)·w_i.
+	var w [4]complex128
+	for i := 0; i < 4; i++ {
+		row := rho.Data[i*4 : (i+1)*4]
+		for k, av := range row {
+			if av == 0 {
+				continue
+			}
+			w[i] += av * v.Data[k]
+		}
+	}
+	var s complex128
+	for i := range w {
+		s += cmplx.Conj(v.Data[i]) * w[i]
+	}
+	return real(s)
 }
 
 // BellDiagonal returns the four Bell-basis diagonal elements of ρ, indexed by

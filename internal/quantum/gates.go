@@ -104,35 +104,82 @@ func Pauli(i int) *linalg.Matrix {
 // Lift1 embeds a single-qubit operator acting on qubit target (0-based) of an
 // n-qubit system.
 func Lift1(op *linalg.Matrix, target, n int) *linalg.Matrix {
-	out := linalg.Identity(1)
-	for i := 0; i < n; i++ {
-		if i == target {
-			out = linalg.Kron(out, op)
-		} else {
-			out = linalg.Kron(out, I2)
+	return Lift1Into(linalg.New(1<<n, 1<<n), op, target, n)
+}
+
+// Lift1Into writes the n-qubit embedding I⊗…⊗op⊗…⊗I of a single-qubit
+// operator into dst (which must be 2ⁿ×2ⁿ) and returns dst. It produces
+// exactly the matrix Lift1 does, without allocating.
+func Lift1Into(dst, op *linalg.Matrix, target, n int) *linalg.Matrix {
+	if op.Rows != 2 || op.Cols != 2 {
+		panic("quantum: Lift1 needs a 2×2 operator")
+	}
+	if target < 0 || target >= n {
+		panic("quantum: Lift1 target out of range")
+	}
+	dim := 1 << n
+	if dst.Rows != dim || dst.Cols != dim {
+		panic("quantum: Lift1Into dst has wrong shape")
+	}
+	dst.Zero()
+	left := 1 << target
+	right := 1 << (n - target - 1)
+	for l := 0; l < left; l++ {
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				v := op.Data[a*2+b]
+				if v == 0 {
+					continue
+				}
+				rowBase := (l*2 + a) * right
+				colBase := (l*2 + b) * right
+				for r := 0; r < right; r++ {
+					dst.Data[(rowBase+r)*dim+colBase+r] = v
+				}
+			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Lift2 embeds a two-qubit operator acting on adjacent qubits (target,
 // target+1) of an n-qubit system.
 func Lift2(op *linalg.Matrix, target, n int) *linalg.Matrix {
-	if target+1 >= n {
+	return Lift2Into(linalg.New(1<<n, 1<<n), op, target, n)
+}
+
+// Lift2Into writes the n-qubit embedding of a two-qubit operator on adjacent
+// qubits (target, target+1) into dst (2ⁿ×2ⁿ) and returns dst.
+func Lift2Into(dst, op *linalg.Matrix, target, n int) *linalg.Matrix {
+	if op.Rows != 4 || op.Cols != 4 {
+		panic("quantum: Lift2 needs a 4×4 operator")
+	}
+	if target < 0 || target+1 >= n {
 		panic("quantum: Lift2 target out of range")
 	}
-	out := linalg.Identity(1)
-	i := 0
-	for i < n {
-		if i == target {
-			out = linalg.Kron(out, op)
-			i += 2
-		} else {
-			out = linalg.Kron(out, I2)
-			i++
+	dim := 1 << n
+	if dst.Rows != dim || dst.Cols != dim {
+		panic("quantum: Lift2Into dst has wrong shape")
+	}
+	dst.Zero()
+	left := 1 << target
+	right := 1 << (n - target - 2)
+	for l := 0; l < left; l++ {
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				v := op.Data[a*4+b]
+				if v == 0 {
+					continue
+				}
+				rowBase := (l*4 + a) * right
+				colBase := (l*4 + b) * right
+				for r := 0; r < right; r++ {
+					dst.Data[(rowBase+r)*dim+colBase+r] = v
+				}
+			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Conjugate returns U·ρ·U†.
@@ -140,13 +187,48 @@ func Conjugate(u, rho *linalg.Matrix) *linalg.Matrix {
 	return linalg.MulChain(u, rho, linalg.Adjoint(u))
 }
 
+// conjugateW computes U·ρ·U† with workspace temporaries. The result is a
+// fresh workspace matrix owned by the caller; u and rho are untouched.
+func conjugateW(ws *linalg.Workspace, u, rho *linalg.Matrix) *linalg.Matrix {
+	tmp := ws.GetRaw(u.Rows, rho.Cols)
+	linalg.MulInto(tmp, u, rho)
+	udag := ws.GetRaw(u.Cols, u.Rows)
+	linalg.ConjTransposeInto(udag, u)
+	out := ws.GetRaw(tmp.Rows, udag.Cols)
+	linalg.MulInto(out, tmp, udag)
+	ws.Put(tmp)
+	ws.Put(udag)
+	return out
+}
+
 // ApplyGate1 applies a single-qubit unitary to qubit target of an n-qubit ρ.
 func ApplyGate1(rho, gate *linalg.Matrix, target, n int) *linalg.Matrix {
-	return Conjugate(Lift1(gate, target, n), rho)
+	return ApplyGate1W(nil, rho, gate, target, n)
+}
+
+// ApplyGate1W is the workspace-threaded ApplyGate1: temporaries come from ws
+// and the result is a fresh ws matrix owned by the caller. ρ is untouched.
+// A nil ws falls back to plain allocation.
+func ApplyGate1W(ws *linalg.Workspace, rho, gate *linalg.Matrix, target, n int) *linalg.Matrix {
+	u := ws.GetRaw(rho.Rows, rho.Cols)
+	Lift1Into(u, gate, target, n)
+	out := conjugateW(ws, u, rho)
+	ws.Put(u)
+	return out
 }
 
 // ApplyGate2 applies a two-qubit unitary to adjacent qubits (target,
 // target+1) of an n-qubit ρ.
 func ApplyGate2(rho, gate *linalg.Matrix, target, n int) *linalg.Matrix {
-	return Conjugate(Lift2(gate, target, n), rho)
+	return ApplyGate2W(nil, rho, gate, target, n)
+}
+
+// ApplyGate2W is the workspace-threaded ApplyGate2; see ApplyGate1W for the
+// ownership rules.
+func ApplyGate2W(ws *linalg.Workspace, rho, gate *linalg.Matrix, target, n int) *linalg.Matrix {
+	u := ws.GetRaw(rho.Rows, rho.Cols)
+	Lift2Into(u, gate, target, n)
+	out := conjugateW(ws, u, rho)
+	ws.Put(u)
+	return out
 }

@@ -51,8 +51,19 @@ var (
 // normalised post-measurement state (same dimension; the measured qubit
 // remains, collapsed).
 func Measure(rho *linalg.Matrix, target, n int, ro Readout, rng *rand.Rand) (bit int, post *linalg.Matrix) {
-	p0op := Lift1(proj0, target, n)
-	p0 := real(linalg.Trace(linalg.Mul(p0op, rho)))
+	return MeasureW(nil, rho, target, n, ro, rng)
+}
+
+// MeasureW is the workspace-threaded Measure: scratch comes from ws and the
+// returned post state is a fresh ws matrix owned by the caller; ρ is
+// untouched. The RNG consumption and results are bit-identical to Measure.
+func MeasureW(ws *linalg.Workspace, rho *linalg.Matrix, target, n int, ro Readout, rng *rand.Rand) (bit int, post *linalg.Matrix) {
+	p0op := ws.GetRaw(rho.Rows, rho.Cols)
+	Lift1Into(p0op, proj0, target, n)
+	tmp := ws.GetRaw(rho.Rows, rho.Cols)
+	linalg.MulInto(tmp, p0op, rho)
+	p0 := real(linalg.Trace(tmp))
+	ws.Put(tmp)
 	if p0 < 0 {
 		p0 = 0
 	}
@@ -60,14 +71,16 @@ func Measure(rho *linalg.Matrix, target, n int, ro Readout, rng *rand.Rand) (bit
 		p0 = 1
 	}
 	truth := 1
-	proj := Lift1(proj1, target, n)
+	proj := p0op
 	prob := 1 - p0
 	if rng.Float64() < p0 {
 		truth = 0
-		proj = p0op
 		prob = p0
+	} else {
+		Lift1Into(proj, proj1, target, n)
 	}
-	post = Conjugate(proj, rho)
+	post = conjugateW(ws, proj, rho)
+	ws.Put(p0op)
 	if prob > 1e-15 {
 		post.ScaleInPlace(complex(1/prob, 0))
 	}
@@ -88,14 +101,26 @@ func Measure(rho *linalg.Matrix, target, n int, ro Readout, rng *rand.Rand) (bit
 // a Z measurement. The rotation is noiseless (Table 1: electron single-qubit
 // gate fidelity 1.0); readout noise applies as in Measure.
 func MeasureInBasis(rho *linalg.Matrix, target, n int, basis Basis, ro Readout, rng *rand.Rand) (bit int, post *linalg.Matrix) {
+	return MeasureInBasisW(nil, rho, target, n, basis, ro, rng)
+}
+
+// MeasureInBasisW is the workspace-threaded MeasureInBasis; see MeasureW.
+func MeasureInBasisW(ws *linalg.Workspace, rho *linalg.Matrix, target, n int, basis Basis, ro Readout, rng *rand.Rand) (bit int, post *linalg.Matrix) {
+	in := rho
 	switch basis {
 	case XBasis:
-		rho = ApplyGate1(rho, H, target, n)
+		in = ApplyGate1W(ws, in, H, target, n)
 	case YBasis:
-		rho = ApplyGate1(rho, SDagger, target, n)
-		rho = ApplyGate1(rho, H, target, n)
+		in = ApplyGate1W(ws, in, SDagger, target, n)
+		rot := ApplyGate1W(ws, in, H, target, n)
+		ws.Put(in)
+		in = rot
 	}
-	return Measure(rho, target, n, ro, rng)
+	bit, post = MeasureW(ws, in, target, n, ro, rng)
+	if in != rho {
+		ws.Put(in)
+	}
+	return bit, post
 }
 
 // TraceOut removes qubit target from an n-qubit state (after it has been

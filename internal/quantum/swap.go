@@ -41,18 +41,45 @@ type SwapResult struct {
 // The resulting Bell index obeys Combine(idxAB, idxBC, Outcome); the tests
 // pin this identity against the returned density matrix.
 func Swap(rhoAB, rhoBC *linalg.Matrix, cfg SwapConfig, rng *rand.Rand) SwapResult {
+	return SwapW(nil, rhoAB, rhoBC, cfg, rng)
+}
+
+// dims/keep vectors for the four-qubit partial trace of SwapW, hoisted so
+// the hot path does not allocate them per swap. Read-only.
+var (
+	dims4qubit = []int{2, 2, 2, 2}
+	keepOuter  = []bool{true, false, false, true}
+)
+
+// SwapW is the workspace-threaded Swap: every intermediate joint state comes
+// from ws and is returned to it; the resulting Rho is a fresh ws matrix whose
+// ownership transfers to the caller (it typically becomes the merged pair's
+// long-lived state). The inputs are untouched, and RNG consumption and
+// results are bit-identical to Swap.
+func SwapW(ws *linalg.Workspace, rhoAB, rhoBC *linalg.Matrix, cfg SwapConfig, rng *rand.Rand) SwapResult {
 	if rhoAB.Rows != 4 || rhoBC.Rows != 4 {
 		panic("quantum: Swap needs 4×4 pair states")
 	}
 	// Joint order (A, b1, b2, C): the two node-local qubits are adjacent.
-	joint := linalg.Kron(rhoAB, rhoBC)
-	joint = NoisyGate2(joint, CNOT, 1, 4, cfg.TwoQubitFidelity)
-	joint = NoisyGate1(joint, H, 1, 4, cfg.SingleQubitFidelity)
+	joint := ws.GetRaw(16, 16)
+	linalg.KronInto(joint, rhoAB, rhoBC)
+	next := NoisyGate2W(ws, joint, CNOT, 1, 4, cfg.TwoQubitFidelity)
+	ws.Put(joint)
+	joint = next
+	next = NoisyGate1W(ws, joint, H, 1, 4, cfg.SingleQubitFidelity)
+	ws.Put(joint)
+	joint = next
 	// After the basis change: b1 carries the phase bit, b2 the flip bit.
-	zbit, joint := Measure(joint, 1, 4, cfg.Readout, rng)
-	xbit, joint := Measure(joint, 2, 4, cfg.Readout, rng)
+	zbit, next := MeasureW(ws, joint, 1, 4, cfg.Readout, rng)
+	ws.Put(joint)
+	joint = next
+	xbit, next := MeasureW(ws, joint, 2, 4, cfg.Readout, rng)
+	ws.Put(joint)
+	joint = next
 	// Remove the measured qubits; the survivors are (A, C).
-	rhoAC := linalg.PartialTrace(joint, []int{2, 2, 2, 2}, []bool{true, false, false, true})
+	rhoAC := ws.GetRaw(4, 4)
+	linalg.PartialTraceInto(rhoAC, joint, dims4qubit, keepOuter)
+	ws.Put(joint)
 	return SwapResult{
 		Rho:     rhoAC,
 		Outcome: BellIndex(uint8(xbit) | uint8(zbit)<<1),

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-gate tests can skip themselves under -race (the detector adds
+// bookkeeping allocations that would trip testing.AllocsPerRun).
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -62,7 +62,7 @@ func TestCancel(t *testing.T) {
 func TestCancelFromWithinEvent(t *testing.T) {
 	s := New(1)
 	fired := false
-	var victim *Event
+	var victim Event
 	s.Schedule(5, func() { s.Cancel(victim) })
 	victim = s.Schedule(10, func() { fired = true })
 	s.Run()
@@ -262,7 +262,7 @@ func TestQuickCancelSubset(t *testing.T) {
 		s := New(3)
 		fired := 0
 		want := 0
-		var evs []*Event
+		var evs []Event
 		for _, d := range delays {
 			evs = append(evs, s.Schedule(Duration(d), func() { fired++ }))
 		}

@@ -8,6 +8,14 @@
 // timer, a TRACK message racing a qubit expiry), so every run must be exactly
 // reproducible from its seed. Concurrency belongs one level up: independent
 // simulation runs fan out across goroutines in the experiment harness.
+//
+// The event loop is allocation-free in steady state: fired and cancelled
+// events are recycled through an intrusive pool, and events scheduled for
+// the current instant bypass the heap through a FIFO now-queue. Scheduling
+// returns a small generation-counted Event value, not a pointer into the
+// pool — hold it as long as you like; Cancel on a handle whose event
+// already fired is always a safe no-op. The only allocation a caller pays
+// per scheduled event is its own callback closure, if any.
 package sim
 
 import "fmt"
