@@ -15,6 +15,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -134,7 +135,7 @@ func runParse(sha, out string) error {
 		return err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("no Benchmark lines found on stdin")
+		return errors.New("no Benchmark lines found on stdin")
 	}
 	f := File{
 		SHA:        sha,

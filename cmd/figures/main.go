@@ -14,9 +14,10 @@
 // Figure IDs: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer,
 // all.
 //
-// Replicas fan out across a worker pool (-workers, default NumCPU); the
-// per-replica seeding makes every figure bit-identical for any worker
-// count. Ctrl-C cancels the in-flight figure.
+// Replicas fan out across a worker pool (-workers, default NumCPU) or,
+// with -shards N, across N re-exec'd worker processes; the per-replica
+// seeding makes every figure bit-identical for any worker or shard count.
+// Ctrl-C cancels the in-flight figure.
 package main
 
 import (
@@ -29,14 +30,20 @@ import (
 	"time"
 
 	"qnp/internal/experiments"
+	"qnp/internal/runner"
 )
 
 func main() {
+	// A process spawned as a shard worker serves its replica range and
+	// exits here, before flag parsing.
+	runner.MaybeWorker()
+
 	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer, all")
 	runs := flag.Int("runs", 0, "independent simulation runs per point (0 = default)")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "base random seed")
 	workers := flag.Int("workers", 0, "replica worker pool size (0 = NumCPU)")
+	shards := flag.Int("shards", 0, "worker processes to shard replica grids across (0 = in-process; 11 and tables have no grid and always run in-process)")
 	progress := flag.Bool("progress", false, "print replica progress to stderr")
 	flag.Parse()
 
@@ -49,6 +56,14 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	if *shards > 0 {
+		o.Backend = runner.Subprocess{Shards: *shards}
+		// Fig. 11 is a single staircase run and the tables are closed-form:
+		// neither has a replica grid, so sharding cannot apply to them.
+		if *fig == "11" || *fig == "tables" {
+			fmt.Fprintf(os.Stderr, "note: -fig %s has no replica grid; -shards has no effect on it\n", *fig)
+		}
+	}
 	if *progress {
 		o.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d replicas", done, total)
@@ -66,6 +81,9 @@ func main() {
 	// Figures compute first, print after: a Ctrl-C mid-figure leaves the
 	// aggregates holding zeros for replicas that never ran, so an
 	// interrupted figure's output is discarded rather than printed.
+	// Stdout carries only deterministic figure data — wall-clock timing
+	// goes to stderr — so the same seed renders byte-identical stdout for
+	// any worker or shard count (the CI sharded-equivalence job diffs it).
 	run := func(name string, fn func() interface{ Print(io.Writer) }) {
 		if ctx.Err() != nil {
 			fmt.Fprintf(w, "[%s skipped: interrupted]\n", name)
@@ -78,7 +96,7 @@ func main() {
 			return
 		}
 		d.Print(w)
-		fmt.Fprintf(w, "[%s regenerated in %.1fs]\n", name, time.Since(t0).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s regenerated in %.1fs]\n", name, time.Since(t0).Seconds())
 	}
 	want := func(name string) bool { return *fig == name || *fig == "all" }
 
@@ -87,7 +105,7 @@ func main() {
 		if ctx.Err() == nil {
 			t0 := time.Now()
 			experiments.WriteTables(w)
-			fmt.Fprintf(w, "[tables regenerated in %.1fs]\n", time.Since(t0).Seconds())
+			fmt.Fprintf(os.Stderr, "[tables regenerated in %.1fs]\n", time.Since(t0).Seconds())
 		}
 	}
 	if want("5") {

@@ -15,7 +15,8 @@
 // With -circuits 1 and no -src/-dst the circuit spans the topology's
 // diameter; -circuits k > 1 draws k distinct random endpoint pairs.
 // -replicas R fans R independent seeded replicas across a worker pool and
-// reports aggregate means.
+// reports aggregate means; -shards N spreads them over N worker processes
+// instead, with bit-identical aggregates.
 package main
 
 import (
@@ -24,11 +25,16 @@ import (
 	"log"
 	"os"
 
+	"qnp/internal/runner"
 	"qnp/internal/sim"
 	"qnp/qnet"
 )
 
 func main() {
+	// A process spawned as a shard worker serves its replica range and
+	// exits here, before flag parsing.
+	runner.MaybeWorker()
+
 	topology := flag.String("topology", "chain", "chain, dumbbell, ring, star, grid or random")
 	nodes := flag.Int("nodes", 3, "node count (chain, ring, star, random)")
 	rows := flag.Int("rows", 3, "grid rows")
@@ -49,6 +55,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	replicas := flag.Int("replicas", 1, "independent replicas (means reported when > 1)")
 	workers := flag.Int("workers", 0, "replica worker pool size (0 = NumCPU)")
+	shards := flag.Int("shards", 0, "worker processes to shard replicas across (0 = in-process)")
 	verbose := flag.Bool("v", false, "log every delivery (single replica only)")
 	flag.Parse()
 
@@ -184,7 +191,11 @@ func main() {
 	}
 
 	if *replicas > 1 {
-		ms, err := sc.RunReplicated(qnet.ReplicaOptions{Replicas: *replicas, Workers: *workers, Seed: *seed})
+		ropts := qnet.ReplicaOptions{Replicas: *replicas, Workers: *workers, Seed: *seed}
+		if *shards > 0 {
+			ropts.Backend = runner.Subprocess{Shards: *shards}
+		}
+		ms, err := sc.RunReplicated(ropts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -41,9 +42,41 @@ func EERSaturation(o Options) *EERData {
 	return eerSaturation(o, horizon, []int{1, 2, 3, 4, 6})
 }
 
-// eerSaturation is the parameterised core, so -short tests can trim the
-// sweep without duplicating the scenario.
-func eerSaturation(o Options, horizon sim.Duration, loads []int) *EERData {
+const eerTargetF = 0.85
+
+// eerParams is the wire form of the saturation sweep's shape.
+type eerParams struct {
+	Horizon sim.Duration
+	Loads   []int
+}
+
+type eerJob struct {
+	requests  int
+	oversized bool
+}
+
+// eerResult is one replica's wire-friendly measurement.
+type eerResult struct {
+	MeasuredPS float64
+	Rejected   int
+}
+
+// eerAllocation reads the MaxEER allocation the controller hands out on
+// this plant — deterministic (no replica seed involved), so parent and
+// shard workers compute the identical value.
+func eerAllocation() float64 {
+	cfg := qnet.DefaultConfig()
+	cfg.EnforceEER = true
+	net := qnet.Dumbbell(cfg)
+	plan, err := net.Controller.PlanCircuit("A0", "B0", eerTargetF, qnet.CutoffShort, 0)
+	if err != nil {
+		panic(err)
+	}
+	return plan.MaxEER
+}
+
+// eerGrid derives the replica grid from (Options, params) alone.
+func eerGrid(o Options, p eerParams) (grid, []eerJob, int, float64) {
 	runs := o.Runs
 	if runs > 3 {
 		runs = 3
@@ -51,77 +84,81 @@ func eerSaturation(o Options, horizon sim.Duration, loads []int) *EERData {
 	if o.Quick {
 		runs = 1
 	}
-	const fid = 0.85
-	// Read the allocation the controller hands out on this plant.
-	alloc := 0.0
-	{
-		cfg := qnet.DefaultConfig()
-		cfg.EnforceEER = true
-		net := qnet.Dumbbell(cfg)
-		plan, err := net.Controller.PlanCircuit("A0", "B0", fid, qnet.CutoffShort, 0)
-		if err != nil {
-			panic(err)
-		}
-		alloc = plan.MaxEER
-	}
-	perReq := alloc * 0.4
-
-	type job struct {
-		requests  int
-		oversized bool
-	}
-	var jobs []job
-	for _, k := range loads {
+	alloc := eerAllocation()
+	var jobs []eerJob
+	for _, k := range p.Loads {
 		for r := 0; r < runs; r++ {
-			jobs = append(jobs, job{requests: k})
+			jobs = append(jobs, eerJob{requests: k})
 		}
 	}
 	for r := 0; r < runs; r++ {
-		jobs = append(jobs, job{requests: 1, oversized: true})
+		jobs = append(jobs, eerJob{requests: 1, oversized: true})
 	}
-	type result struct {
-		measured float64
-		rejected int
-	}
-	results := mapJobs(o, jobs, func(j job, seed int64) result {
-		cfg := qnet.DefaultConfig()
-		cfg.Seed = seed
-		cfg.EnforceEER = true
-		reqs := make([]qnet.Request, j.requests)
-		for i := range reqs {
-			rate := perReq
-			if j.oversized {
-				rate = 2 * alloc
-			}
-			reqs[i] = qnet.Request{
-				ID: qnet.RequestID(fmt.Sprintf("m%d", i)), Type: qnet.Measure,
-				MeasureBasis: quantum.ZBasis, Rate: rate,
-			}
-		}
-		res, err := qnet.Scenario{
-			Name:     "eer-saturation",
-			Config:   cfg,
-			Topology: qnet.DumbbellTopo(),
-			Circuits: []qnet.CircuitSpec{{
-				ID: "policed", Src: "A0", Dst: "B0", Fidelity: fid, Policy: qnet.CutoffShort,
-				Workload: qnet.Batch{Requests: reqs},
-			}},
-			Horizon: horizon,
-		}.Run()
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		return eerRun(seed, jobs[i], alloc, p.Horizon)
+	}}
+	return g, jobs, runs, alloc
+}
+
+func init() {
+	registerGrid("eer", func(o Options, raw json.RawMessage) (grid, error) {
+		p, err := decodeParams[eerParams](raw)
 		if err != nil {
-			panic(err)
+			return grid{}, err
 		}
-		m := res.Metrics
-		cm := m.Circuit("policed")
-		return result{measured: cm.EER(m.Start, m.End), rejected: cm.Rejected}
+		g, _, _, _ := eerGrid(o, p)
+		return g, nil
 	})
+}
+
+// eerRun measures one policed-circuit replica.
+func eerRun(seed int64, j eerJob, alloc float64, horizon sim.Duration) eerResult {
+	cfg := qnet.DefaultConfig()
+	cfg.Seed = seed
+	cfg.EnforceEER = true
+	reqs := make([]qnet.Request, j.requests)
+	for i := range reqs {
+		rate := alloc * 0.4
+		if j.oversized {
+			rate = 2 * alloc
+		}
+		reqs[i] = qnet.Request{
+			ID: qnet.RequestID(fmt.Sprintf("m%d", i)), Type: qnet.Measure,
+			MeasureBasis: quantum.ZBasis, Rate: rate,
+		}
+	}
+	res, err := qnet.Scenario{
+		Name:     "eer-saturation",
+		Config:   cfg,
+		Topology: qnet.DumbbellTopo(),
+		Circuits: []qnet.CircuitSpec{{
+			ID: "policed", Src: "A0", Dst: "B0", Fidelity: eerTargetF, Policy: qnet.CutoffShort,
+			Workload: qnet.Batch{Requests: reqs},
+		}},
+		Horizon: horizon,
+	}.Run()
+	if err != nil {
+		panic(err)
+	}
+	m := res.Metrics
+	cm := m.Circuit("policed")
+	return eerResult{MeasuredPS: cm.EER(m.Start, m.End), Rejected: cm.Rejected}
+}
+
+// eerSaturation is the parameterised core, so -short tests can trim the
+// sweep without duplicating the scenario.
+func eerSaturation(o Options, horizon sim.Duration, loads []int) *EERData {
+	p := eerParams{Horizon: horizon, Loads: loads}
+	g, jobs, runs, alloc := eerGrid(o, p)
+	perReq := alloc * 0.4
+	results := gridMap[eerResult](o, "eer", p, g)
 	d := &EERData{AllocatedPS: alloc, HorizonS: horizon.Seconds()}
 	for i := 0; i < len(jobs); i += runs {
 		j := jobs[i]
 		var meas, rej runner.Stats
 		for _, r := range results[i : i+runs] {
-			meas.Add(r.measured)
-			rej.Add(float64(r.rejected))
+			meas.Add(r.MeasuredPS)
+			rej.Add(float64(r.Rejected))
 		}
 		offered := float64(j.requests) * perReq
 		if j.oversized {

@@ -11,8 +11,10 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"qnp/internal/runner"
 	"qnp/internal/sim"
@@ -39,6 +41,12 @@ type Options struct {
 	// zero values for the replicas that never ran, so callers must
 	// treat its output as garbage and discard it (cmd/figures does).
 	Context context.Context
+	// Backend, when non-nil, executes each figure's replica grid through
+	// the runner's Backend seam (runner.Subprocess shards it across worker
+	// processes). Replica seeding and aggregation order are
+	// backend-independent, so figure output is bit-identical for any
+	// backend and shard count.
+	Backend runner.Backend
 }
 
 // DefaultOptions is the standard reproduction size.
@@ -51,21 +59,152 @@ func (o Options) runnerOpts() runner.Options {
 	return runner.Options{Workers: o.Workers, Seed: o.Seed, Progress: o.Progress, Context: o.Context}
 }
 
-// parallelRuns fans a figure point's o.Runs independent replicas through
-// the runner; fn must build its own network from the seed it is handed.
-// Results come back in replica order.
-func parallelRuns[T any](o Options, fn func(seed int64) T) []T {
-	out, _ := runner.Run(o.runnerOpts(), o.Runs, func(_ int, seed int64) T {
-		return fn(seed)
-	})
-	return out
+// Figures fan their scenario grid × replica matrix through the runner as a
+// "grid": the job count plus a function running job i from its seed. Every
+// grid is registered by figure ID with a constructor that rebuilds it from
+// (Options, params) alone, so a shard worker process — which holds only
+// the serialized gridJob — re-derives the exact same job list and runs any
+// index of it. Grid results must JSON round-trip exactly (ints and
+// float64s do); that is what keeps sharded figure output byte-identical.
+
+// grid is one figure's replica matrix.
+type grid struct {
+	n   int
+	run func(i int, seed int64) any
 }
 
-// mapJobs fans a whole scenario grid (every point × replica) through the
-// runner at once, so a figure saturates the pool even when each point
-// only has one replica. Results come back in job order.
-func mapJobs[J, T any](o Options, jobs []J, fn func(job J, seed int64) T) []T {
-	out, _ := runner.Map(o.runnerOpts(), jobs, fn)
+// wireOptions is the serializable Options subset a worker needs to rebuild
+// a grid. Workers, Progress, Context and Backend stay parent-side: they
+// steer execution, never results.
+type wireOptions struct {
+	Runs  int
+	Seed  int64
+	Quick bool
+}
+
+func (w wireOptions) options() Options { return Options{Runs: w.Runs, Seed: w.Seed, Quick: w.Quick} }
+
+// gridJob is the wire form of "one replica of figure Fig's grid".
+type gridJob struct {
+	Fig    string
+	Opts   wireOptions
+	Params json.RawMessage `json:",omitempty"`
+}
+
+// gridFuncs rebuilds a figure's grid from its wire coordinates; populated
+// in each figure file's init, so parent and re-exec'd worker share it.
+var gridFuncs = map[string]func(o Options, params json.RawMessage) (grid, error){}
+
+func registerGrid(fig string, mk func(o Options, params json.RawMessage) (grid, error)) {
+	if _, dup := gridFuncs[fig]; dup {
+		panic("experiments: grid " + fig + " registered twice")
+	}
+	gridFuncs[fig] = mk
+}
+
+// gridKind is the runner job kind for figure grids: payload = gridJob,
+// result = the grid run function's JSON-encoded return value.
+const gridKind = "experiments.grid"
+
+// gridMemo caches the last rebuilt grid by payload: a shard worker serves
+// one payload for its whole replica range, so rebuilding the grid (which
+// for some figures probes a network, e.g. eer's allocation read) once
+// instead of once per replica. Grid run functions are replica-pure, so
+// reuse across concurrent replicas is safe.
+var gridMemo struct {
+	sync.Mutex
+	payload string
+	g       grid
+	ok      bool
+}
+
+func gridFor(payload []byte) (grid, error) {
+	gridMemo.Lock()
+	defer gridMemo.Unlock()
+	if gridMemo.ok && gridMemo.payload == string(payload) {
+		return gridMemo.g, nil
+	}
+	var j gridJob
+	if err := json.Unmarshal(payload, &j); err != nil {
+		return grid{}, fmt.Errorf("experiments: decode grid job: %w", err)
+	}
+	mk := gridFuncs[j.Fig]
+	if mk == nil {
+		return grid{}, fmt.Errorf("experiments: unknown figure grid %q", j.Fig)
+	}
+	g, err := mk(j.Opts.options(), j.Params)
+	if err != nil {
+		return grid{}, fmt.Errorf("experiments: rebuild %s grid: %w", j.Fig, err)
+	}
+	gridMemo.payload, gridMemo.g, gridMemo.ok = string(payload), g, true
+	return g, nil
+}
+
+func init() {
+	runner.RegisterKind(gridKind, func(payload []byte, replica int, seed int64) ([]byte, error) {
+		g, err := gridFor(payload)
+		if err != nil {
+			return nil, err
+		}
+		if replica < 0 || replica >= g.n {
+			return nil, fmt.Errorf("experiments: grid %s has %d jobs, got index %d", payload, g.n, replica)
+		}
+		return json.Marshal(g.run(replica, seed))
+	})
+}
+
+// decodeParams is the grid constructors' params decoder (nil params decode
+// to the zero value, for grids without any).
+func decodeParams[P any](raw json.RawMessage) (P, error) {
+	var p P
+	if len(raw) == 0 {
+		return p, nil
+	}
+	err := json.Unmarshal(raw, &p)
+	return p, err
+}
+
+// gridMap runs figure fig's whole grid — locally on the goroutine pool, or
+// through o.Backend when set — and returns the results in job order.
+// params must be the same value the registered constructor derives g from.
+// Infrastructure failures (a shard crashing past its retries, undecodable
+// results) panic, like any other impossible condition inside a figure;
+// cancellation returns the partial results, which cmd/figures discards.
+func gridMap[T any](o Options, fig string, params any, g grid) []T {
+	if o.Backend == nil {
+		out, _ := runner.Run(o.runnerOpts(), g.n, func(i int, seed int64) T {
+			return g.run(i, seed).(T)
+		})
+		return out
+	}
+	job := gridJob{Fig: fig, Opts: wireOptions{Runs: o.Runs, Seed: o.Seed, Quick: o.Quick}}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: encode %s grid params: %v", fig, err))
+		}
+		job.Params = raw
+	}
+	payload, err := json.Marshal(job)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: encode %s grid job: %v", fig, err))
+	}
+	out := make([]T, g.n)
+	var decErr error
+	err = o.Backend.Execute(o.runnerOpts(), gridKind, payload, g.n, func(i int, b []byte) {
+		if e := json.Unmarshal(b, &out[i]); e != nil && decErr == nil {
+			decErr = fmt.Errorf("experiments: decode %s result %d: %w", fig, i, e)
+		}
+	})
+	if err == nil {
+		err = decErr
+	}
+	if err != nil {
+		if o.Context != nil && o.Context.Err() != nil {
+			return out // cancelled: partial results, discarded by the caller
+		}
+		panic(fmt.Sprintf("experiments: %s grid on %T: %v", fig, o.Backend, err))
+	}
 	return out
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -401,6 +402,51 @@ func TestEERSaturationQuick(t *testing.T) {
 	d.Print(&buf)
 	if !strings.Contains(buf.String(), "at or below the MaxEER allocation") {
 		t.Error("Print output incomplete")
+	}
+}
+
+// TestMain doubles as the shard worker entrypoint: the shard-count
+// invariance test re-execs this test binary behind runner.WorkerFlag.
+func TestMain(m *testing.M) {
+	runner.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestShardCountInvariance extends worker-count invariance across the
+// Backend seam: figure aggregates must be byte-identical whether replicas
+// run on the in-process pool, through the in-process bytes codec, or
+// sharded over 1 or 3 worker processes.
+func TestShardCountInvariance(t *testing.T) {
+	t.Parallel()
+	render := func(b runner.Backend) string {
+		o := QuickOptions()
+		o.Backend = b
+		var buf bytes.Buffer
+		Fig5(o).Print(&buf)
+		// A parameterised grid exercises the params wire path.
+		hubContention(o, 2*sim.Second, []int{2}, []bool{true}).Print(&buf)
+		if !testing.Short() {
+			Fig9(o).Print(&buf)
+			EERSaturation(o).Print(&buf)
+		}
+		return buf.String()
+	}
+	worker := []string{os.Args[0], runner.WorkerFlag}
+	backends := []struct {
+		name string
+		b    runner.Backend
+	}{
+		{"pool", nil},
+		{"in-process-codec", runner.InProcess{}},
+		{"shards-1", runner.Subprocess{Shards: 1, Command: worker}},
+		{"shards-3", runner.Subprocess{Shards: 3, Command: worker}},
+	}
+	want := render(backends[0].b)
+	for _, tc := range backends[1:] {
+		if got := render(tc.b); got != want {
+			t.Fatalf("%s produced different aggregates:\n--- pool ---\n%s\n--- %s ---\n%s",
+				tc.name, want, tc.name, got)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -28,11 +29,13 @@ type Fig10ABData struct {
 	HorizonS float64
 }
 
-// Fig10AB sweeps the electron memory lifetime (T2*) for two competing
-// circuits — A0-B0 at F=0.9 and A1-B1 at F=0.8 — comparing the QNP's cutoff
-// against the §5.2 baseline that discards below-threshold end-to-end pairs
-// with a simulation oracle.
-func Fig10AB(o Options) *Fig10ABData {
+type fig10Job struct {
+	oracle bool
+	t2     float64
+}
+
+// fig10ABGrid derives the figure's replica grid from Options alone.
+func fig10ABGrid(o Options) (grid, []fig10Job, int, sim.Duration) {
 	horizon := 20 * sim.Second
 	lifetimes := []float64{0.2, 0.5, 1, 1.6, 3, 6, 15, 60}
 	runs := o.Runs
@@ -44,22 +47,36 @@ func Fig10AB(o Options) *Fig10ABData {
 		lifetimes = []float64{0.5, 1.6, 60}
 		runs = 1
 	}
-	d := &Fig10ABData{HorizonS: horizon.Seconds()}
-	type job struct {
-		oracle bool
-		t2     float64
-	}
-	var jobs []job
+	var jobs []fig10Job
 	for _, oracle := range []bool{false, true} {
 		for _, t2 := range lifetimes {
 			for r := 0; r < runs; r++ {
-				jobs = append(jobs, job{oracle, t2})
+				jobs = append(jobs, fig10Job{oracle, t2})
 			}
 		}
 	}
-	pts := mapJobs(o, jobs, func(j job, seed int64) [2]Fig10ABPoint {
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		j := jobs[i]
 		return fig10Run(seed, j.t2, j.oracle, horizon, 0)
+	}}
+	return g, jobs, runs, horizon
+}
+
+func init() {
+	registerGrid("fig10ab", func(o Options, _ json.RawMessage) (grid, error) {
+		g, _, _, _ := fig10ABGrid(o)
+		return g, nil
 	})
+}
+
+// Fig10AB sweeps the electron memory lifetime (T2*) for two competing
+// circuits — A0-B0 at F=0.9 and A1-B1 at F=0.8 — comparing the QNP's cutoff
+// against the §5.2 baseline that discards below-threshold end-to-end pairs
+// with a simulation oracle.
+func Fig10AB(o Options) *Fig10ABData {
+	g, jobs, runs, horizon := fig10ABGrid(o)
+	d := &Fig10ABData{HorizonS: horizon.Seconds()}
+	pts := gridMap[[2]Fig10ABPoint](o, "fig10ab", nil, g)
 	for k := 0; k < len(jobs); k += runs {
 		j := jobs[k]
 		for i, f := range []float64{0.9, 0.8} {
@@ -192,12 +209,8 @@ type Fig10CData struct {
 	CutoffMS float64
 }
 
-// Fig10C sweeps the per-hop classical processing delay at a fixed memory
-// lifetime of ≈1.6 s and plots goodput: pairs whose exact fidelity at
-// delivery still meets the circuit's threshold. Quantum operations never
-// block on control messages, so goodput holds until the delay approaches
-// the cutoff.
-func Fig10C(o Options) *Fig10CData {
+// fig10CGrid derives the figure's replica grid from Options alone.
+func fig10CGrid(o Options) (grid, []float64, int) {
 	horizon := 20 * sim.Second
 	delays := []float64{0, 1, 2, 4, 6, 9, 12, 16, 24}
 	runs := o.Runs
@@ -209,6 +222,32 @@ func Fig10C(o Options) *Fig10CData {
 		delays = []float64{0, 6, 16}
 		runs = 1
 	}
+	var jobs []float64
+	for _, ms := range delays {
+		for r := 0; r < runs; r++ {
+			jobs = append(jobs, ms)
+		}
+	}
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		return fig10GoodputRun(seed, 1.6, sim.DurationFromSeconds(jobs[i]/1e3), horizon)
+	}}
+	return g, jobs, runs
+}
+
+func init() {
+	registerGrid("fig10c", func(o Options, _ json.RawMessage) (grid, error) {
+		g, _, _ := fig10CGrid(o)
+		return g, nil
+	})
+}
+
+// Fig10C sweeps the per-hop classical processing delay at a fixed memory
+// lifetime of ≈1.6 s and plots goodput: pairs whose exact fidelity at
+// delivery still meets the circuit's threshold. Quantum operations never
+// block on control messages, so goodput holds until the delay approaches
+// the cutoff.
+func Fig10C(o Options) *Fig10CData {
+	g, jobs, runs := fig10CGrid(o)
 	d := &Fig10CData{}
 	// Report the cutoff value the routing controller picks at this
 	// lifetime (the paper's dashed vertical line).
@@ -220,15 +259,7 @@ func Fig10C(o Options) *Fig10CData {
 			d.CutoffMS = vc.Plan.Cutoff.Milliseconds()
 		}
 	}
-	var jobs []float64
-	for _, ms := range delays {
-		for r := 0; r < runs; r++ {
-			jobs = append(jobs, ms)
-		}
-	}
-	pts := mapJobs(o, jobs, func(ms float64, seed int64) [2]Fig10ABPoint {
-		return fig10GoodputRun(seed, 1.6, sim.DurationFromSeconds(ms/1e3), horizon)
-	})
+	pts := gridMap[[2]Fig10ABPoint](o, "fig10c", nil, g)
 	for k := 0; k < len(jobs); k += runs {
 		ms := jobs[k]
 		for i, f := range []float64{0.9, 0.8} {

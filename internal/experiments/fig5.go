@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -23,11 +24,9 @@ type Fig5Data struct {
 	agg runner.Stats
 }
 
-// Fig5 measures the link layer's generation time distribution directly —
-// a single link asked for F=0.95 pairs, the paper's Fig. 5 setup — through
-// the real engine (geometric attempt sampling on the calibrated hardware
-// model), not a closed form.
-func Fig5(o Options) *Fig5Data {
+// fig5Grid derives the figure's replica grid from Options alone: o.Runs
+// independent link-layer sample batches.
+func fig5Grid(o Options) grid {
 	want := 2000
 	if o.Quick {
 		want = 200
@@ -36,40 +35,23 @@ func Fig5(o Options) *Fig5Data {
 	if perRun < 10 {
 		perRun = 10
 	}
-	runs := parallelRuns(o, func(seed int64) []float64 {
-		s := sim.New(seed)
-		params := hardware.Simulation()
-		a := device.New(s, "a", params)
-		b := device.New(s, "b", params)
-		name := linklayer.LinkName("a", "b")
-		a.AddCommQubits(name, 2)
-		b.AddCommQubits(name, 2)
-		eng := linklayer.NewEngine(s, name, hardware.LabLink(), a, b)
+	return grid{n: o.Runs, run: func(_ int, seed int64) any {
+		return fig5Run(seed, perRun)
+	}}
+}
 
-		var times []float64
-		last := s.Now()
-		free := func(d linklayer.Delivery, dev *device.Device) {
-			if side := d.Pair.LocalSide(dev.ID()); side >= 0 {
-				dev.Free(d.Pair.Half(side))
-			}
-		}
-		if err := eng.Register("a", "f5", 0.95, 10, func(d linklayer.Delivery) {
-			times = append(times, d.Pair.CreatedAt().Sub(last).Seconds())
-			last = d.Pair.CreatedAt()
-			free(d, a)
-		}); err != nil {
-			panic(err)
-		}
-		if err := eng.Register("b", "f5", 0.95, 10, func(d linklayer.Delivery) { free(d, b) }); err != nil {
-			panic(err)
-		}
-		for len(times) < perRun {
-			if !s.Step() {
-				break
-			}
-		}
-		return times
+func init() {
+	registerGrid("fig5", func(o Options, _ json.RawMessage) (grid, error) {
+		return fig5Grid(o), nil
 	})
+}
+
+// Fig5 measures the link layer's generation time distribution directly —
+// a single link asked for F=0.95 pairs, the paper's Fig. 5 setup — through
+// the real engine (geometric attempt sampling on the calibrated hardware
+// model), not a closed form.
+func Fig5(o Options) *Fig5Data {
+	runs := gridMap[[]float64](o, "fig5", nil, fig5Grid(o))
 	d := &Fig5Data{Fidelity: 0.95}
 	for _, r := range runs {
 		d.agg.Add(r...)
@@ -78,6 +60,42 @@ func Fig5(o Options) *Fig5Data {
 	d.MeanMS = d.agg.Mean() * 1e3
 	d.P95MS = d.agg.Percentile(0.95) * 1e3
 	return d
+}
+
+// fig5Run is one replica: a fresh link engine generating perRun pairs.
+func fig5Run(seed int64, perRun int) []float64 {
+	s := sim.New(seed)
+	params := hardware.Simulation()
+	a := device.New(s, "a", params)
+	b := device.New(s, "b", params)
+	name := linklayer.LinkName("a", "b")
+	a.AddCommQubits(name, 2)
+	b.AddCommQubits(name, 2)
+	eng := linklayer.NewEngine(s, name, hardware.LabLink(), a, b)
+
+	var times []float64
+	last := s.Now()
+	free := func(d linklayer.Delivery, dev *device.Device) {
+		if side := d.Pair.LocalSide(dev.ID()); side >= 0 {
+			dev.Free(d.Pair.Half(side))
+		}
+	}
+	if err := eng.Register("a", "f5", 0.95, 10, func(d linklayer.Delivery) {
+		times = append(times, d.Pair.CreatedAt().Sub(last).Seconds())
+		last = d.Pair.CreatedAt()
+		free(d, a)
+	}); err != nil {
+		panic(err)
+	}
+	if err := eng.Register("b", "f5", 0.95, 10, func(d linklayer.Delivery) { free(d, b) }); err != nil {
+		panic(err)
+	}
+	for len(times) < perRun {
+		if !s.Step() {
+			break
+		}
+	}
+	return times
 }
 
 // CDF evaluates the empirical distribution at time t (seconds).

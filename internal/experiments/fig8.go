@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -41,10 +42,17 @@ func circuitSets(n int) [][2]string {
 	}
 }
 
-// Fig8 reproduces the resource-sharing study of §5.1: 1–8 simultaneous
-// requests across 1, 2 or 4 circuits sharing the MA-MB bottleneck, with the
-// long and the short cutoff, on one-minute memories (T2* = 60 s).
-func Fig8(o Options) *Fig8Data {
+type fig8Job struct {
+	nCirc int
+	short bool
+	fid   float64
+	load  int
+}
+
+// fig8Grid derives the figure's replica grid from Options alone: the whole
+// scenario grid × replica matrix flattened into one runner batch (replica
+// innermost, so each point's replicas are contiguous).
+func fig8Grid(o Options) (grid, []fig8Job, int, int, sim.Duration) {
 	pairs := 100
 	capT := 600 * sim.Second
 	fids := []float64{0.8, 0.9}
@@ -60,30 +68,39 @@ func Fig8(o Options) *Fig8Data {
 		loads = []int{1, 4, 8}
 		runs = 1
 	}
-	d := &Fig8Data{PairsPerReq: pairs, CapS: capT.Seconds()}
-	// Flatten the whole scenario grid × replica matrix into one runner
-	// batch (replica innermost, so each point's replicas are contiguous).
-	type job struct {
-		nCirc int
-		short bool
-		fid   float64
-		load  int
-	}
-	var jobs []job
+	var jobs []fig8Job
 	for _, nCirc := range []int{1, 2, 4} {
 		for _, short := range []bool{false, true} {
 			for _, f := range fids {
 				for _, load := range loads {
 					for r := 0; r < runs; r++ {
-						jobs = append(jobs, job{nCirc, short, f, load})
+						jobs = append(jobs, fig8Job{nCirc, short, f, load})
 					}
 				}
 			}
 		}
 	}
-	pts := mapJobs(o, jobs, func(j job, seed int64) Fig8Point {
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		j := jobs[i]
 		return fig8Run(seed, j.nCirc, j.short, j.fid, j.load, pairs, capT)
+	}}
+	return g, jobs, runs, pairs, capT
+}
+
+func init() {
+	registerGrid("fig8", func(o Options, _ json.RawMessage) (grid, error) {
+		g, _, _, _, _ := fig8Grid(o)
+		return g, nil
 	})
+}
+
+// Fig8 reproduces the resource-sharing study of §5.1: 1–8 simultaneous
+// requests across 1, 2 or 4 circuits sharing the MA-MB bottleneck, with the
+// long and the short cutoff, on one-minute memories (T2* = 60 s).
+func Fig8(o Options) *Fig8Data {
+	g, jobs, runs, pairs, capT := fig8Grid(o)
+	d := &Fig8Data{PairsPerReq: pairs, CapS: capT.Seconds()}
+	pts := gridMap[Fig8Point](o, "fig8", nil, g)
 	for i := 0; i < len(jobs); i += runs {
 		j := jobs[i]
 		var ls runner.Stats

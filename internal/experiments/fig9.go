@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -23,10 +24,14 @@ type Fig9Data struct {
 	Points []Fig9Point
 }
 
-// Fig9 issues 3-pair requests on A0-B0 at an increasing rate (short cutoff,
-// F=0.85) with A1-B1 idle ("empty") or saturated by a long-running request
-// ("congested"), and measures latency after the system reaches equilibrium.
-func Fig9(o Options) *Fig9Data {
+type fig9Job struct {
+	congested bool
+	interval  float64
+}
+
+// fig9Grid derives the figure's replica grid from Options alone, so a
+// shard worker rebuilds the identical job list.
+func fig9Grid(o Options) (grid, []fig9Job, int) {
 	horizon := 50 * sim.Second
 	measureFrom := 40 * sim.Second
 	intervals := []float64{2, 1, 0.5, 0.3, 0.2, 0.15, 0.1, 0.07, 0.05, 0.035, 0.025}
@@ -40,22 +45,35 @@ func Fig9(o Options) *Fig9Data {
 		intervals = []float64{1, 0.3, 0.15}
 		runs = 1
 	}
-	d := &Fig9Data{}
-	type job struct {
-		congested bool
-		interval  float64
-	}
-	var jobs []job
+	var jobs []fig9Job
 	for _, congested := range []bool{false, true} {
 		for _, iv := range intervals {
 			for r := 0; r < runs; r++ {
-				jobs = append(jobs, job{congested, iv})
+				jobs = append(jobs, fig9Job{congested, iv})
 			}
 		}
 	}
-	pts := mapJobs(o, jobs, func(j job, seed int64) Fig9Point {
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		j := jobs[i]
 		return fig9Run(seed, j.congested, j.interval, horizon, measureFrom)
+	}}
+	return g, jobs, runs
+}
+
+func init() {
+	registerGrid("fig9", func(o Options, _ json.RawMessage) (grid, error) {
+		g, _, _ := fig9Grid(o)
+		return g, nil
 	})
+}
+
+// Fig9 issues 3-pair requests on A0-B0 at an increasing rate (short cutoff,
+// F=0.85) with A1-B1 idle ("empty") or saturated by a long-running request
+// ("congested"), and measures latency after the system reaches equilibrium.
+func Fig9(o Options) *Fig9Data {
+	g, jobs, runs := fig9Grid(o)
+	d := &Fig9Data{}
+	pts := gridMap[Fig9Point](o, "fig9", nil, g)
 	for i := 0; i < len(jobs); i += runs {
 		j := jobs[i]
 		var tp, lat, p5, p95 []float64

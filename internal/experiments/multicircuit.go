@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -51,10 +52,32 @@ func HubContention(o Options) *HubData {
 	return hubContention(o, horizon, []int{1, 2, 3, 4}, []bool{false, true})
 }
 
-// hubContention is the parameterised core, so -short tests can trim the
-// grid without duplicating the scenario.
-func hubContention(o Options, horizon sim.Duration, counts []int, modes []bool) *HubData {
-	const fid = 0.85
+const hubTargetF = 0.85
+
+// hubParams is the wire form of the hub grid's shape, so trimmed -short
+// grids shard exactly like the full figure.
+type hubParams struct {
+	Horizon sim.Duration
+	Counts  []int
+	Modes   []bool
+}
+
+type hubJob struct {
+	circuits int
+	shared   bool
+}
+
+// hubResult is one replica's wire-friendly measurement.
+type hubResult struct {
+	AggregatePS  float64
+	MinPS        float64
+	PerCircuitPS float64
+	SwapsPS      float64
+	DiscardsPS   float64
+}
+
+// hubGrid derives the replica grid from (Options, params) alone.
+func hubGrid(o Options, p hubParams) (grid, []hubJob, int) {
 	runs := o.Runs
 	if runs > 3 {
 		runs = 3
@@ -62,77 +85,94 @@ func hubContention(o Options, horizon sim.Duration, counts []int, modes []bool) 
 	if o.Quick {
 		runs = 1
 	}
-	type job struct {
-		circuits int
-		shared   bool
-	}
-	var jobs []job
-	for _, shared := range modes {
-		for _, k := range counts {
+	var jobs []hubJob
+	for _, shared := range p.Modes {
+		for _, k := range p.Counts {
 			for r := 0; r < runs; r++ {
-				jobs = append(jobs, job{k, shared})
+				jobs = append(jobs, hubJob{k, shared})
 			}
 		}
 	}
-	type result struct {
-		aggregate, min, perCirc float64
-		swaps, discards         float64
-	}
-	results := mapJobs(o, jobs, func(j job, seed int64) result {
-		cfg := qnet.DefaultConfig()
-		cfg.Seed = seed
-		// Star-9: hub n0, leaves n1..n8. Disjoint pairs use separate
-		// spokes; shared pairs all originate at the n1 gateway.
-		disjoint := [][2]string{{"n1", "n2"}, {"n3", "n4"}, {"n5", "n6"}, {"n7", "n8"}}
-		shared := [][2]string{{"n1", "n2"}, {"n1", "n3"}, {"n1", "n4"}, {"n1", "n5"}}
-		pairs := disjoint
-		if j.shared {
-			pairs = shared
-		}
-		specs := make([]qnet.CircuitSpec, j.circuits)
-		for i := 0; i < j.circuits; i++ {
-			specs[i] = qnet.CircuitSpec{
-				ID: qnet.CircuitID(fmt.Sprintf("c%d", i)), Src: pairs[i][0], Dst: pairs[i][1],
-				Fidelity: fid, Policy: qnet.CutoffShort,
-				Workload: qnet.ContinuousKeep{},
-			}
-		}
-		res, err := qnet.Scenario{
-			Name:     fmt.Sprintf("hub-%d", j.circuits),
-			Config:   cfg,
-			Topology: qnet.StarTopo(9),
-			Circuits: specs,
-			Horizon:  horizon,
-		}.Run()
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		return hubRun(seed, jobs[i], p.Horizon)
+	}}
+	return g, jobs, runs
+}
+
+func init() {
+	registerGrid("hub", func(o Options, raw json.RawMessage) (grid, error) {
+		p, err := decodeParams[hubParams](raw)
 		if err != nil {
-			panic(err)
+			return grid{}, err
 		}
-		m := res.Metrics
-		out := result{aggregate: m.AggregateEER()}
-		var per runner.Stats
-		out.min = -1
-		for _, cm := range m.Circuits {
-			eer := cm.EER(m.Start, m.End)
-			per.Add(eer)
-			if out.min < 0 || eer < out.min {
-				out.min = eer
-			}
-		}
-		out.perCirc = per.Mean()
-		hub := m.NodeStats["n0"]
-		out.swaps = float64(hub.Swaps) / horizon.Seconds()
-		out.discards = float64(hub.Discards) / horizon.Seconds()
-		return out
+		g, _, _ := hubGrid(o, p)
+		return g, nil
 	})
-	d := &HubData{Leaves: 8, HorizonS: horizon.Seconds(), TargetF: fid}
+}
+
+// hubRun measures one hub-contention replica.
+func hubRun(seed int64, j hubJob, horizon sim.Duration) hubResult {
+	cfg := qnet.DefaultConfig()
+	cfg.Seed = seed
+	// Star-9: hub n0, leaves n1..n8. Disjoint pairs use separate
+	// spokes; shared pairs all originate at the n1 gateway.
+	disjoint := [][2]string{{"n1", "n2"}, {"n3", "n4"}, {"n5", "n6"}, {"n7", "n8"}}
+	shared := [][2]string{{"n1", "n2"}, {"n1", "n3"}, {"n1", "n4"}, {"n1", "n5"}}
+	pairs := disjoint
+	if j.shared {
+		pairs = shared
+	}
+	specs := make([]qnet.CircuitSpec, j.circuits)
+	for i := 0; i < j.circuits; i++ {
+		specs[i] = qnet.CircuitSpec{
+			ID: qnet.CircuitID(fmt.Sprintf("c%d", i)), Src: pairs[i][0], Dst: pairs[i][1],
+			Fidelity: hubTargetF, Policy: qnet.CutoffShort,
+			Workload: qnet.ContinuousKeep{},
+		}
+	}
+	res, err := qnet.Scenario{
+		Name:     fmt.Sprintf("hub-%d", j.circuits),
+		Config:   cfg,
+		Topology: qnet.StarTopo(9),
+		Circuits: specs,
+		Horizon:  horizon,
+	}.Run()
+	if err != nil {
+		panic(err)
+	}
+	m := res.Metrics
+	out := hubResult{AggregatePS: m.AggregateEER()}
+	var per runner.Stats
+	out.MinPS = -1
+	for _, cm := range m.Circuits {
+		eer := cm.EER(m.Start, m.End)
+		per.Add(eer)
+		if out.MinPS < 0 || eer < out.MinPS {
+			out.MinPS = eer
+		}
+	}
+	out.PerCircuitPS = per.Mean()
+	hub := m.NodeStats["n0"]
+	out.SwapsPS = float64(hub.Swaps) / horizon.Seconds()
+	out.DiscardsPS = float64(hub.Discards) / horizon.Seconds()
+	return out
+}
+
+// hubContention is the parameterised core, so -short tests can trim the
+// grid without duplicating the scenario.
+func hubContention(o Options, horizon sim.Duration, counts []int, modes []bool) *HubData {
+	p := hubParams{Horizon: horizon, Counts: counts, Modes: modes}
+	g, jobs, runs := hubGrid(o, p)
+	results := gridMap[hubResult](o, "hub", p, g)
+	d := &HubData{Leaves: 8, HorizonS: horizon.Seconds(), TargetF: hubTargetF}
 	for i := 0; i < len(jobs); i += runs {
 		var agg, per, min, sw, disc runner.Stats
 		for _, r := range results[i : i+runs] {
-			agg.Add(r.aggregate)
-			per.Add(r.perCirc)
-			min.Add(r.min)
-			sw.Add(r.swaps)
-			disc.Add(r.discards)
+			agg.Add(r.AggregatePS)
+			per.Add(r.PerCircuitPS)
+			min.Add(r.MinPS)
+			sw.Add(r.SwapsPS)
+			disc.Add(r.DiscardsPS)
 		}
 		d.Points = append(d.Points, HubPoint{
 			Circuits: jobs[i].circuits, Shared: jobs[i].shared,
@@ -195,10 +235,30 @@ func PathDiversity(o Options) *DiversityData {
 	return pathDiversity(o, horizon, []string{"grid-4x4", "waxman-12"}, []int{1, 2, 4})
 }
 
-// pathDiversity is the parameterised core, so -short tests can trim the
-// grid without duplicating the scenario.
-func pathDiversity(o Options, horizon sim.Duration, topologies []string, counts []int) *DiversityData {
-	const fid = 0.8
+const diversityTargetF = 0.8
+
+// diversityParams is the wire form of the diversity grid's shape.
+type diversityParams struct {
+	Horizon    sim.Duration
+	Topologies []string
+	Counts     []int
+}
+
+type diversityJob struct {
+	topology string
+	circuits int
+}
+
+// diversityResult is one replica's wire-friendly measurement.
+type diversityResult struct {
+	Feasible     float64
+	AggregatePS  float64
+	PerCircuitPS float64
+	Hops         float64
+}
+
+// diversityGrid derives the replica grid from (Options, params) alone.
+func diversityGrid(o Options, p diversityParams) (grid, []diversityJob, int) {
 	runs := o.Runs
 	if runs > 3 {
 		runs = 3
@@ -206,79 +266,97 @@ func pathDiversity(o Options, horizon sim.Duration, topologies []string, counts 
 	if o.Quick {
 		runs = 1
 	}
+	var jobs []diversityJob
+	for _, topology := range p.Topologies {
+		for _, k := range p.Counts {
+			for r := 0; r < runs; r++ {
+				jobs = append(jobs, diversityJob{topology, k})
+			}
+		}
+	}
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		return diversityRun(seed, jobs[i], p.Horizon)
+	}}
+	return g, jobs, runs
+}
+
+func init() {
+	registerGrid("diversity", func(o Options, raw json.RawMessage) (grid, error) {
+		p, err := decodeParams[diversityParams](raw)
+		if err != nil {
+			return grid{}, err
+		}
+		g, _, _ := diversityGrid(o, p)
+		return g, nil
+	})
+}
+
+// diversityRun measures one path-diversity replica.
+func diversityRun(seed int64, j diversityJob, horizon sim.Duration) diversityResult {
+	cfg := qnet.DefaultConfig()
+	cfg.Seed = seed
 	// One circuit per grid row (row-major numbering): link-disjoint routes.
 	gridPairs := [][2]string{{"n0", "n3"}, {"n4", "n7"}, {"n8", "n11"}, {"n12", "n15"}}
-	type job struct {
-		topology string
-		circuits int
+	var topo qnet.TopologySpec
+	var specs []qnet.CircuitSpec
+	if j.topology == "grid-4x4" {
+		topo = qnet.GridTopo(4, 4)
+		for i := 0; i < j.circuits; i++ {
+			specs = append(specs, qnet.CircuitSpec{
+				Src: gridPairs[i][0], Dst: gridPairs[i][1],
+				Fidelity: diversityTargetF, Workload: qnet.ContinuousKeep{}, Optional: true,
+			})
+		}
+	} else {
+		topo = qnet.WaxmanTopo(12, 0.5, 0.4)
+		specs = []qnet.CircuitSpec{{
+			Select:   qnet.RandomPairs(j.circuits),
+			Fidelity: diversityTargetF, Workload: qnet.ContinuousKeep{}, Optional: true,
+		}}
 	}
-	var jobs []job
-	for _, topology := range topologies {
-		for _, k := range counts {
-			for r := 0; r < runs; r++ {
-				jobs = append(jobs, job{topology, k})
-			}
-		}
+	res, err := qnet.Scenario{
+		Name:     fmt.Sprintf("%s-%d", j.topology, j.circuits),
+		Config:   cfg,
+		Topology: topo,
+		Circuits: specs,
+		Horizon:  horizon,
+	}.Run()
+	if err != nil {
+		panic(err)
 	}
-	type result struct {
-		feasible, aggregate, perCirc, hops float64
+	m := res.Metrics
+	out := diversityResult{AggregatePS: m.AggregateEER()}
+	var feas, per, hops runner.Stats
+	for _, cm := range m.Circuits {
+		if !cm.Established {
+			feas.Add(0)
+			continue
+		}
+		feas.Add(1)
+		per.Add(cm.EER(m.Start, m.End))
+		hops.Add(float64(len(cm.Path) - 1))
 	}
-	results := mapJobs(o, jobs, func(j job, seed int64) result {
-		cfg := qnet.DefaultConfig()
-		cfg.Seed = seed
-		var topo qnet.TopologySpec
-		var specs []qnet.CircuitSpec
-		if j.topology == "grid-4x4" {
-			topo = qnet.GridTopo(4, 4)
-			for i := 0; i < j.circuits; i++ {
-				specs = append(specs, qnet.CircuitSpec{
-					Src: gridPairs[i][0], Dst: gridPairs[i][1],
-					Fidelity: fid, Workload: qnet.ContinuousKeep{}, Optional: true,
-				})
-			}
-		} else {
-			topo = qnet.WaxmanTopo(12, 0.5, 0.4)
-			specs = []qnet.CircuitSpec{{
-				Select:   qnet.RandomPairs(j.circuits),
-				Fidelity: fid, Workload: qnet.ContinuousKeep{}, Optional: true,
-			}}
-		}
-		res, err := qnet.Scenario{
-			Name:     fmt.Sprintf("%s-%d", j.topology, j.circuits),
-			Config:   cfg,
-			Topology: topo,
-			Circuits: specs,
-			Horizon:  horizon,
-		}.Run()
-		if err != nil {
-			panic(err)
-		}
-		m := res.Metrics
-		out := result{aggregate: m.AggregateEER()}
-		var feas, per, hops runner.Stats
-		for _, cm := range m.Circuits {
-			if !cm.Established {
-				feas.Add(0)
-				continue
-			}
-			feas.Add(1)
-			per.Add(cm.EER(m.Start, m.End))
-			hops.Add(float64(len(cm.Path) - 1))
-		}
-		out.feasible = feas.Mean()
-		out.perCirc = per.Mean()
-		out.hops = hops.Mean()
-		return out
-	})
-	d := &DiversityData{HorizonS: horizon.Seconds(), TargetF: fid}
+	out.Feasible = feas.Mean()
+	out.PerCircuitPS = per.Mean()
+	out.Hops = hops.Mean()
+	return out
+}
+
+// pathDiversity is the parameterised core, so -short tests can trim the
+// grid without duplicating the scenario.
+func pathDiversity(o Options, horizon sim.Duration, topologies []string, counts []int) *DiversityData {
+	p := diversityParams{Horizon: horizon, Topologies: topologies, Counts: counts}
+	g, jobs, runs := diversityGrid(o, p)
+	results := gridMap[diversityResult](o, "diversity", p, g)
+	d := &DiversityData{HorizonS: horizon.Seconds(), TargetF: diversityTargetF}
 	for i := 0; i < len(jobs); i += runs {
 		j := jobs[i]
 		var feas, agg, per, hops runner.Stats
 		for _, r := range results[i : i+runs] {
-			feas.Add(r.feasible)
-			agg.Add(r.aggregate)
-			per.Add(r.perCirc)
-			hops.Add(r.hops)
+			feas.Add(r.Feasible)
+			agg.Add(r.AggregatePS)
+			per.Add(r.PerCircuitPS)
+			hops.Add(r.Hops)
 		}
 		d.Points = append(d.Points, DiversityPoint{
 			Topology: j.topology, Circuits: j.circuits,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -52,14 +53,19 @@ func topoScenarios() []topoScenario {
 	}
 }
 
-// TopologySweep drives a diameter-spanning circuit on each generator's
-// output — the scenario-shape sweep the chain-only seed could not express.
-// Every topology runs the identical hardware and protocol stack, so
-// differences isolate what the graph shape does to end-to-end entanglement
-// distribution (hop count, swap concentration at hubs, path diversity).
-func TopologySweep(o Options) *TopoData {
+// topoResult is one replica's wire-friendly measurement.
+type topoResult struct {
+	Links, Hops int
+	Feasible    bool
+	PairsPS     float64
+	MeanFid     float64
+}
+
+const topoTargetF = 0.85
+
+// topoGrid derives the sweep's replica grid from Options alone.
+func topoGrid(o Options) (grid, []topoScenario, int, sim.Duration) {
 	horizon := 10 * sim.Second
-	const fid = 0.85
 	runs := o.Runs
 	if runs > 3 {
 		runs = 3
@@ -68,63 +74,79 @@ func TopologySweep(o Options) *TopoData {
 		horizon = 3 * sim.Second
 		runs = 1
 	}
-	scens := topoScenarios()
-	type result struct {
-		links, hops int
-		feasible    bool
-		pairsPS     float64
-		meanFid     float64
-	}
 	var jobs []topoScenario
-	for _, sc := range scens {
+	for _, sc := range topoScenarios() {
 		for r := 0; r < runs; r++ {
 			jobs = append(jobs, sc)
 		}
 	}
-	results := mapJobs(o, jobs, func(sc topoScenario, seed int64) result {
-		cfg := qnet.DefaultConfig()
-		cfg.Seed = seed
-		run, err := qnet.Scenario{
-			Config:   cfg,
-			Topology: sc.topo,
-			Circuits: []qnet.CircuitSpec{{
-				ID: "topo", Select: qnet.DiameterPair(), Fidelity: fid,
-				Workload: qnet.ContinuousKeep{ID: "tp"},
-				// Some shapes cannot plan a diameter circuit at this target:
-				// that is the sweep's FeasibleFrac, not an error.
-				Optional:       true,
-				RecordFidelity: true,
-			}},
-			Horizon: horizon,
-		}.Run()
-		if err != nil {
-			panic(err)
-		}
-		_, _, hops := run.Net.Diameter()
-		res := result{links: run.Metrics.Links, hops: hops}
-		cm := run.Metrics.Circuit("topo")
-		if !cm.Established {
-			return res
-		}
-		res.feasible = true
-		// Mean over pair deliveries only (a Measure delivery records F=0).
-		var fids runner.Stats
-		fids.Add(cm.Fidelities...)
-		res.pairsPS = float64(cm.Delivered) / horizon.Seconds()
-		res.meanFid = fids.Mean()
-		return res
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		return topoRun(seed, jobs[i], horizon)
+	}}
+	return g, jobs, runs, horizon
+}
+
+func init() {
+	registerGrid("topo", func(o Options, _ json.RawMessage) (grid, error) {
+		g, _, _, _ := topoGrid(o)
+		return g, nil
 	})
-	d := &TopoData{HorizonS: horizon.Seconds(), TargetF: fid}
+}
+
+// topoRun measures one topology replica.
+func topoRun(seed int64, sc topoScenario, horizon sim.Duration) topoResult {
+	cfg := qnet.DefaultConfig()
+	cfg.Seed = seed
+	run, err := qnet.Scenario{
+		Config:   cfg,
+		Topology: sc.topo,
+		Circuits: []qnet.CircuitSpec{{
+			ID: "topo", Select: qnet.DiameterPair(), Fidelity: topoTargetF,
+			Workload: qnet.ContinuousKeep{ID: "tp"},
+			// Some shapes cannot plan a diameter circuit at this target:
+			// that is the sweep's FeasibleFrac, not an error.
+			Optional:       true,
+			RecordFidelity: true,
+		}},
+		Horizon: horizon,
+	}.Run()
+	if err != nil {
+		panic(err)
+	}
+	_, _, hops := run.Net.Diameter()
+	res := topoResult{Links: run.Metrics.Links, Hops: hops}
+	cm := run.Metrics.Circuit("topo")
+	if !cm.Established {
+		return res
+	}
+	res.Feasible = true
+	// Mean over pair deliveries only (a Measure delivery records F=0).
+	var fids runner.Stats
+	fids.Add(cm.Fidelities...)
+	res.PairsPS = float64(cm.Delivered) / horizon.Seconds()
+	res.MeanFid = fids.Mean()
+	return res
+}
+
+// TopologySweep drives a diameter-spanning circuit on each generator's
+// output — the scenario-shape sweep the chain-only seed could not express.
+// Every topology runs the identical hardware and protocol stack, so
+// differences isolate what the graph shape does to end-to-end entanglement
+// distribution (hop count, swap concentration at hubs, path diversity).
+func TopologySweep(o Options) *TopoData {
+	g, jobs, runs, horizon := topoGrid(o)
+	results := gridMap[topoResult](o, "topo", nil, g)
+	d := &TopoData{HorizonS: horizon.Seconds(), TargetF: topoTargetF}
 	for i := 0; i < len(jobs); i += runs {
 		sc := jobs[i]
 		var links, hops, feas, tp, mf runner.Stats
 		for _, r := range results[i : i+runs] {
-			links.Add(float64(r.links))
-			hops.Add(float64(r.hops))
-			if r.feasible {
+			links.Add(float64(r.Links))
+			hops.Add(float64(r.Hops))
+			if r.Feasible {
 				feas.Add(1)
-				tp.Add(r.pairsPS)
-				mf.Add(r.meanFid)
+				tp.Add(r.PairsPS)
+				mf.Add(r.MeanFid)
 			} else {
 				feas.Add(0)
 			}

@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A KindFunc executes one replica of a registered job kind: it decodes the
+// job payload, runs replica `replica` with the seed derived for it, and
+// returns the replica's encoded result. It must be a pure function of
+// (payload, replica, seed) — that is what makes process-sharded execution
+// bit-identical to in-process execution — and it must be safe for
+// concurrent calls.
+type KindFunc func(payload []byte, replica int, seed int64) ([]byte, error)
+
+var (
+	kindsMu sync.RWMutex
+	kinds   = make(map[string]KindFunc)
+)
+
+// RegisterKind installs the executor for a job kind, keyed by a stable
+// name. Packages register their kinds in init so that a re-exec'd worker
+// process (which runs the same binary) holds the same table. Registering a
+// duplicate name panics: kind names are a cross-process protocol and must
+// be unambiguous.
+func RegisterKind(kind string, fn KindFunc) {
+	kindsMu.Lock()
+	defer kindsMu.Unlock()
+	if kind == "" || fn == nil {
+		panic("runner: RegisterKind with empty kind or nil func")
+	}
+	if _, dup := kinds[kind]; dup {
+		panic(fmt.Sprintf("runner: job kind %q registered twice", kind))
+	}
+	kinds[kind] = fn
+}
+
+func lookupKind(kind string) (KindFunc, error) {
+	kindsMu.RLock()
+	fn := kinds[kind]
+	kindsMu.RUnlock()
+	if fn == nil {
+		return nil, fmt.Errorf("runner: unknown job kind %q (known: %v)", kind, kindNames())
+	}
+	return fn, nil
+}
+
+func kindNames() []string {
+	kindsMu.RLock()
+	defer kindsMu.RUnlock()
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// A Backend executes the replicas of a registered job kind and delivers
+// each replica's encoded result to sink in strict replica order (the Stream
+// contract), so aggregate output is bit-identical regardless of where and
+// with how much parallelism the replicas actually ran. Replica i always
+// runs with DeriveSeed(o.Seed, i); o.Workers bounds the per-process
+// parallelism and never affects results.
+//
+// sink runs serialized on the calling goroutine's critical path and must
+// not call back into the backend. A replica whose KindFunc returns an error
+// fails the whole execution: kind errors are deterministic (the same bytes
+// fail everywhere), so no backend retries them.
+type Backend interface {
+	Execute(o Options, kind string, payload []byte, replicas int, sink func(replica int, result []byte)) error
+}
+
+// InProcess executes replicas on a goroutine pool inside the calling
+// process — the Backend form of the plain Stream runner. It still routes
+// payloads and results through the job-kind codec, so it exercises exactly
+// the bytes a process-sharded run would ship; use the direct Run/Map/Stream
+// API to skip encoding entirely.
+type InProcess struct{}
+
+// Execute implements Backend.
+func (InProcess) Execute(o Options, kind string, payload []byte, replicas int, sink func(replica int, result []byte)) error {
+	fn, err := lookupKind(kind)
+	if err != nil {
+		return err
+	}
+	// A deterministic kind error dooms the run; cancel the pool so the
+	// remaining replicas stop claiming (Subprocess does the same for its
+	// sibling shards) instead of simulating results nobody will read.
+	parent := o.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	o.Context = ctx
+	type res struct {
+		b   []byte
+		err error
+	}
+	// Stream serializes sink calls under its own lock, so firstErr needs no
+	// extra synchronization.
+	var firstErr error
+	serr := Stream(o, replicas, func(replica int, seed int64) res {
+		b, err := fn(payload, replica, seed)
+		return res{b, err}
+	}, func(replica int, v res) {
+		if v.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("runner: %s replica %d: %w", kind, replica, v.err)
+				cancel()
+			}
+			return
+		}
+		if firstErr == nil {
+			sink(replica, v.b)
+		}
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	if serr != nil {
+		// Stream saw our internal cancel context; report the caller's.
+		return parent.Err()
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the shard worker entrypoint: the subprocess tests
+// re-exec this test binary with WorkerFlag, and MaybeWorker diverts those
+// children into the worker loop before any test machinery runs.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// testWorkerCmd re-execs this test binary as a shard worker.
+func testWorkerCmd() []string { return []string{os.Args[0], WorkerFlag} }
+
+func init() {
+	// test.echo: the deterministic happy-path kind.
+	RegisterKind("test.echo", func(payload []byte, replica int, seed int64) ([]byte, error) {
+		return json.Marshal(fmt.Sprintf("%s/r%d/s%d", payload, replica, seed))
+	})
+	// test.crash-once: hard-exits the process on one replica, but only the
+	// first time (a marker file in the payload directory remembers) — the
+	// injected crash for the shard-retry test.
+	RegisterKind("test.crash-once", func(payload []byte, replica int, seed int64) ([]byte, error) {
+		var p struct {
+			Dir     string
+			Replica int
+		}
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return nil, err
+		}
+		if replica == p.Replica {
+			marker := filepath.Join(p.Dir, "crashed")
+			if _, err := os.Stat(marker); os.IsNotExist(err) {
+				os.WriteFile(marker, []byte("x"), 0o644)
+				os.Exit(3)
+			}
+		}
+		return json.Marshal(replica)
+	})
+	// test.crash-always: hard-exits on one replica, every attempt.
+	RegisterKind("test.crash-always", func(payload []byte, replica int, seed int64) ([]byte, error) {
+		var target int
+		if err := json.Unmarshal(payload, &target); err != nil {
+			return nil, err
+		}
+		if replica == target {
+			os.Exit(3)
+		}
+		return json.Marshal(replica)
+	})
+	// test.fail: a deterministic KindFunc error on one replica.
+	RegisterKind("test.fail", func(payload []byte, replica int, seed int64) ([]byte, error) {
+		var target int
+		if err := json.Unmarshal(payload, &target); err != nil {
+			return nil, err
+		}
+		if replica == target {
+			return nil, errors.New("synthetic kind failure")
+		}
+		return json.Marshal(replica)
+	})
+	// test.hang: never answers, for the inactivity watchdog test.
+	RegisterKind("test.hang", func(payload []byte, replica int, seed int64) ([]byte, error) {
+		time.Sleep(time.Hour)
+		return nil, nil
+	})
+}
+
+// executeAll collects a backend run's results indexed by replica, failing
+// the test if sink order is not strictly ascending.
+func executeAll(t *testing.T, b Backend, o Options, kind string, payload []byte, n int) [][]byte {
+	t.Helper()
+	out := make([][]byte, n)
+	next := 0
+	err := b.Execute(o, kind, payload, n, func(replica int, result []byte) {
+		if replica != next {
+			t.Errorf("sink got replica %d, want %d (order must be strict)", replica, next)
+		}
+		next++
+		out[replica] = append([]byte(nil), result...)
+	})
+	if err != nil {
+		t.Fatalf("%T.Execute: %v", b, err)
+	}
+	if next != n {
+		t.Fatalf("sink saw %d of %d replicas", next, n)
+	}
+	return out
+}
+
+func TestInProcessBackendMatchesKindFunc(t *testing.T) {
+	const n = 9
+	payload := []byte(`"p"`)
+	got := executeAll(t, InProcess{}, Options{Workers: 3, Seed: 5}, "test.echo", payload, n)
+	for i := 0; i < n; i++ {
+		want, _ := json.Marshal(fmt.Sprintf("%s/r%d/s%d", payload, i, DeriveSeed(5, i)))
+		if !bytes.Equal(got[i], want) {
+			t.Errorf("replica %d = %s, want %s", i, got[i], want)
+		}
+	}
+}
+
+func TestInProcessBackendUnknownKind(t *testing.T) {
+	err := InProcess{}.Execute(Options{}, "test.unregistered", nil, 1, func(int, []byte) {})
+	if err == nil || !strings.Contains(err.Error(), "unknown job kind") {
+		t.Fatalf("err = %v, want unknown-kind error", err)
+	}
+}
+
+// TestSubprocessShardCountInvariance is the process-sharded analogue of
+// worker-count invariance: any shard count yields byte-identical results
+// in identical order.
+func TestSubprocessShardCountInvariance(t *testing.T) {
+	const n = 11
+	payload := []byte(`"inv"`)
+	want := executeAll(t, InProcess{}, Options{Seed: 7}, "test.echo", payload, n)
+	for _, shards := range []int{1, 2, 3, 5, n + 3} {
+		sp := Subprocess{Shards: shards, Command: testWorkerCmd()}
+		got := executeAll(t, sp, Options{Seed: 7}, "test.echo", payload, n)
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("shards=%d: replica %d = %s, want %s", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSubprocessProgressTicks: the sharded backend honours
+// Options.Progress exactly like the in-process pool — one serialized tick
+// per replica.
+func TestSubprocessProgressTicks(t *testing.T) {
+	const n = 9
+	var mu sync.Mutex
+	var ticks []int
+	sp := Subprocess{Shards: 3, Command: testWorkerCmd()}
+	err := sp.Execute(Options{Seed: 1, Progress: func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != n {
+			t.Errorf("progress total = %d, want %d", total, n)
+		}
+		ticks = append(ticks, done)
+	}}, "test.echo", []byte(`"pg"`), n, func(int, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ticks) != n {
+		t.Fatalf("progress ticked %d times, want %d (%v)", len(ticks), n, ticks)
+	}
+	for i, d := range ticks {
+		if d != i+1 {
+			t.Fatalf("tick %d reported done=%d, want %d", i, d, i+1)
+		}
+	}
+}
+
+func TestSubprocessCrashMidShardIsRetried(t *testing.T) {
+	dir := t.TempDir()
+	payload, _ := json.Marshal(struct {
+		Dir     string
+		Replica int
+	}{dir, 4})
+	sp := Subprocess{Shards: 3, Command: testWorkerCmd()}
+	got := executeAll(t, sp, Options{Seed: 1}, "test.crash-once", payload, 9)
+	for i := range got {
+		var v int
+		if err := json.Unmarshal(got[i], &v); err != nil || v != i {
+			t.Errorf("replica %d = %s (err %v)", i, got[i], err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "crashed")); err != nil {
+		t.Fatal("the injected crash never fired; the retry path was not exercised")
+	}
+}
+
+func TestSubprocessPersistentCrashFailsTheRun(t *testing.T) {
+	payload, _ := json.Marshal(2)
+	sp := Subprocess{Shards: 2, Command: testWorkerCmd()}
+	err := sp.Execute(Options{Seed: 1}, "test.crash-always", payload, 6, func(int, []byte) {})
+	if err == nil {
+		t.Fatal("run succeeded despite a deterministic worker crash")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "failed after 2 attempts") || !strings.Contains(msg, "shard") {
+		t.Errorf("error does not identify the failing shard and attempts: %v", err)
+	}
+}
+
+func TestSubprocessKindErrorFailsWithoutRetry(t *testing.T) {
+	payload, _ := json.Marshal(3)
+	sp := Subprocess{Shards: 1, Command: testWorkerCmd()}
+	err := sp.Execute(Options{Seed: 1}, "test.fail", payload, 5, func(int, []byte) {})
+	if err == nil || !strings.Contains(err.Error(), "synthetic kind failure") {
+		t.Fatalf("err = %v, want the replica's own failure", err)
+	}
+	if !strings.Contains(err.Error(), "replica 3") {
+		t.Errorf("error does not name the failing replica: %v", err)
+	}
+}
+
+func TestSubprocessInactivityTimeout(t *testing.T) {
+	sp := Subprocess{Shards: 1, Command: testWorkerCmd(), Timeout: 300 * time.Millisecond, Retries: -1}
+	start := time.Now()
+	err := sp.Execute(Options{Seed: 1}, "test.hang", nil, 1, func(int, []byte) {})
+	if err == nil || !strings.Contains(err.Error(), "no frame for") {
+		t.Fatalf("err = %v, want an inactivity-timeout error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("timeout took %v to fire", elapsed)
+	}
+}
+
+func TestSubprocessContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sp := Subprocess{Shards: 2, Command: testWorkerCmd()}
+	err := sp.Execute(Options{Seed: 1, Context: ctx}, "test.echo", []byte(`"c"`), 8, func(int, []byte) {})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSplitShards(t *testing.T) {
+	for replicas := 1; replicas <= 20; replicas++ {
+		for n := 1; n <= replicas; n++ {
+			ranges := splitShards(replicas, n)
+			if len(ranges) != n {
+				t.Fatalf("splitShards(%d,%d) gave %d ranges", replicas, n, len(ranges))
+			}
+			next := 0
+			for _, r := range ranges {
+				if r.start != next {
+					t.Fatalf("splitShards(%d,%d): range starts at %d, want %d", replicas, n, r.start, next)
+				}
+				if r.count < replicas/n || r.count > replicas/n+1 {
+					t.Fatalf("splitShards(%d,%d): uneven count %d", replicas, n, r.count)
+				}
+				next += r.count
+			}
+			if next != replicas {
+				t.Fatalf("splitShards(%d,%d) covers %d replicas", replicas, n, next)
+			}
+		}
+	}
+}
+
+// TestWorkerMainProtocol drives the worker loop in-memory: one job frame
+// in, ascending per-replica result frames out.
+func TestWorkerMainProtocol(t *testing.T) {
+	var in, out bytes.Buffer
+	job := jobFrame{Kind: "test.echo", Payload: []byte(`"w"`), Seed: 9, Start: 3, Count: 4, Workers: 2}
+	if err := writeFrame(&in, job); err != nil {
+		t.Fatal(err)
+	}
+	if err := WorkerMain(&in, &out); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&out)
+	for i := 0; i < job.Count; i++ {
+		var f resultFrame
+		if err := readFrame(br, &f); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		replica := job.Start + i
+		if f.Replica != replica || f.Err != "" {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+		want, _ := json.Marshal(fmt.Sprintf(`"w"/r%d/s%d`, replica, DeriveSeed(job.Seed, replica)))
+		if !bytes.Equal(f.Result, want) {
+			t.Errorf("replica %d result = %s, want %s", replica, f.Result, want)
+		}
+	}
+}
+
+// TestProgressAndPartialResultsUnderCancellation is the regression test
+// for the dispatch gate: a replica finishing after cancellation keeps its
+// result but must not tick Progress.
+func TestProgressAndPartialResultsUnderCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ticks []int
+	out, err := Run(Options{Workers: 1, Seed: 1, Context: ctx, Progress: func(done, total int) {
+		ticks = append(ticks, done)
+	}}, 10, func(replica int, seed int64) int {
+		if replica == 2 {
+			cancel()
+		}
+		return replica + 100
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One serial worker: replicas 0 and 1 tick progress; replica 2 runs to
+	// completion after cancelling, so its result is recorded but its tick
+	// is suppressed; replicas 3+ are never claimed.
+	if want := []int{1, 2}; len(ticks) != len(want) || ticks[0] != 1 || ticks[1] != 2 {
+		t.Errorf("progress ticks = %v, want %v", ticks, want)
+	}
+	for i, want := range []int{100, 101, 102, 0, 0} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}

@@ -1,11 +1,31 @@
-// Package runner shards independent simulation replicas across a worker
-// pool. Every replica draws its RNG seed from the base seed and its own
-// index alone, and results are collected (or streamed) in replica order, so
+// Package runner shards independent simulation replicas across workers.
+// Every replica draws its RNG seed from the base seed and its own index
+// alone, and results are collected (or streamed) in replica order, so
 // aggregate output is bit-identical regardless of how many workers run or
 // how the scheduler interleaves them. This is the execution platform for
 // the experiment suite: figures fan their scenario grid × replica matrix
-// through Map, and future scaling work (process sharding, batching,
-// multi-backend) plugs in underneath without touching experiment code.
+// through Map, and scaling work plugs in underneath without touching
+// experiment code.
+//
+// # The Backend seam
+//
+// Run, Map and Stream execute on a goroutine pool inside the calling
+// process. The Backend interface is the drop-in seam beneath them for
+// executing replicas elsewhere: a backend is handed a registered job kind
+// plus an opaque payload, runs replicas 0..n-1 with their derived seeds,
+// and delivers encoded results to a sink in strict replica order. Two
+// backends ship today: InProcess (the goroutine pool, routed through the
+// job codec) and Subprocess (worker processes — re-execs of the current
+// binary behind WorkerFlag — speaking length-prefixed JSON frames over
+// stdin/stdout, with crash/timeout detection and per-shard retry). Because
+// replica seeds and ordering are backend-independent, swapping backends
+// can never change results, only wall-clock time; host-level sharding
+// slots in here next.
+//
+// Job kinds are registered by name (RegisterKind) in package init, so a
+// re-exec'd worker process holds the same kind table as its parent.
+// Binaries that offer the Subprocess backend must call MaybeWorker first
+// in main.
 package runner
 
 import (
@@ -33,11 +53,16 @@ type Options struct {
 	// Seed is the base seed; replica i runs with DeriveSeed(Seed, i).
 	Seed int64
 	// Progress, when non-nil, is called after each replica completes with
-	// the number finished so far and the total. Calls are serialized.
+	// the number finished so far and the total. Calls are serialized, and
+	// Progress never fires after the context is cancelled — replicas that
+	// were already in flight still finish and their results are recorded,
+	// but they tick no progress.
 	Progress func(done, total int)
 	// Context, when non-nil, cancels the run: workers stop claiming new
 	// replicas once it is done and Run returns the context's error with
-	// the partial results (unclaimed slots hold zero values).
+	// the partial results (unclaimed slots hold zero values). Replicas in
+	// flight at cancellation run to completion — their slots hold real
+	// results — but their Progress callbacks are suppressed.
 	Context context.Context
 }
 
@@ -118,8 +143,13 @@ func dispatch(o Options, n int, work func(i int)) error {
 				work(i)
 				if o.Progress != nil {
 					mu.Lock()
-					done++
-					o.Progress(done, n)
+					// Re-check under the lock: a replica finishing after
+					// cancellation keeps its result but must not tick
+					// progress (the run is already reporting an error).
+					if ctx == nil || ctx.Err() == nil {
+						done++
+						o.Progress(done, n)
+					}
 					mu.Unlock()
 				}
 			}

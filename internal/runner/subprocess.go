@@ -1,0 +1,371 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Subprocess executes replicas in re-exec'd worker processes — the
+// process-sharded Backend. The replica range is split into Shards
+// contiguous slices; each shard is served by one worker process (a re-exec
+// of the current binary behind WorkerFlag) speaking the length-prefixed
+// JSON frame protocol on stdin/stdout. Because every replica's seed is
+// DeriveSeed(base, replica) regardless of which process runs it, sharded
+// results are bit-identical to in-process results for any shard count.
+//
+// A shard whose worker crashes, writes a torn frame, or goes silent past
+// the inactivity timeout is retried from scratch (replicas are pure, so a
+// re-run reproduces the lost results exactly); a shard that keeps failing
+// fails the run with the worker's stderr attached. Replica-level KindFunc
+// errors are deterministic and fail the run without retry.
+type Subprocess struct {
+	// Shards is the worker process count (0 = NumCPU), capped at the
+	// replica count. The value never affects results, only parallelism.
+	Shards int
+	// Command is the worker argv (argv[0] is the executable). Empty means
+	// re-exec the current binary with WorkerFlag — the production setup;
+	// tests point it at a test binary instead.
+	Command []string
+	// Env is extra environment appended to the parent's for each worker.
+	Env []string
+	// Timeout is the per-shard inactivity limit: a worker that produces no
+	// frame for this long is killed and the shard retried. 0 means the
+	// 10-minute default; negative disables the watchdog.
+	Timeout time.Duration
+	// Retries is how many times a crashed shard is re-run (0 = the default
+	// single retry; negative disables retries).
+	Retries int
+}
+
+const defaultShardTimeout = 10 * time.Minute
+
+func (s Subprocess) shards(replicas int) int {
+	n := s.Shards
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	if n > replicas {
+		n = replicas
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (s Subprocess) timeout() time.Duration {
+	if s.Timeout < 0 {
+		return 0
+	}
+	if s.Timeout == 0 {
+		return defaultShardTimeout
+	}
+	return s.Timeout
+}
+
+func (s Subprocess) retries() int {
+	if s.Retries < 0 {
+		return 0
+	}
+	if s.Retries == 0 {
+		return 1
+	}
+	return s.Retries
+}
+
+func (s Subprocess) command() ([]string, error) {
+	if len(s.Command) > 0 {
+		return s.Command, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("runner: cannot locate executable to re-exec: %w", err)
+	}
+	return []string{exe, WorkerFlag}, nil
+}
+
+// shardRange is one worker's contiguous global replica slice.
+type shardRange struct {
+	start, count int
+}
+
+// splitShards slices [0, replicas) into n near-equal contiguous ranges.
+func splitShards(replicas, n int) []shardRange {
+	out := make([]shardRange, 0, n)
+	base, rem := replicas/n, replicas%n
+	start := 0
+	for k := 0; k < n; k++ {
+		c := base
+		if k < rem {
+			c++
+		}
+		out = append(out, shardRange{start, c})
+		start += c
+	}
+	return out
+}
+
+// collector buffers out-of-order shard results and hands them to sink in
+// strict replica order — the cross-process analogue of Stream's ordered
+// emission — ticking Progress once per distinct replica, serialized.
+type collector struct {
+	mu       sync.Mutex
+	buf      [][]byte
+	ready    []bool
+	next     int
+	done     int
+	sink     func(replica int, result []byte)
+	progress func(done, total int)
+}
+
+func newCollector(replicas int, sink func(int, []byte), progress func(done, total int)) *collector {
+	return &collector{buf: make([][]byte, replicas), ready: make([]bool, replicas), sink: sink, progress: progress}
+}
+
+// add records one replica result; duplicates from a retried shard are
+// dropped (determinism makes them byte-identical re-runs).
+func (c *collector) add(replica int, b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ready[replica] {
+		return
+	}
+	c.buf[replica], c.ready[replica] = b, true
+	c.done++
+	if c.progress != nil {
+		c.progress(c.done, len(c.buf))
+	}
+	for c.next < len(c.buf) && c.ready[c.next] {
+		c.sink(c.next, c.buf[c.next])
+		c.buf[c.next] = nil
+		c.next++
+	}
+}
+
+// kindError marks a deterministic replica-level failure (a KindFunc error
+// reported by the worker) that retrying cannot fix.
+type kindError struct{ err error }
+
+func (e kindError) Error() string { return e.err.Error() }
+
+// Execute implements Backend.
+func (s Subprocess) Execute(o Options, kind string, payload []byte, replicas int, sink func(replica int, result []byte)) error {
+	if replicas <= 0 {
+		return nil
+	}
+	argv, err := s.command()
+	if err != nil {
+		return err
+	}
+	parent := o.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	ranges := splitShards(replicas, s.shards(replicas))
+	// Progress ticks once per distinct replica as shards report in; after
+	// cancellation it is suppressed, matching the in-process pool.
+	progress := o.Progress
+	if progress != nil {
+		progress = func(done, total int) {
+			if ctx.Err() == nil {
+				o.Progress(done, total)
+			}
+		}
+	}
+	coll := newCollector(replicas, sink, progress)
+
+	// Divide the in-process parallelism budget across the shards so N
+	// worker processes on one box don't oversubscribe it N-fold. Workers
+	// never affect results, only wall-clock time.
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	o.Workers = (o.Workers + len(ranges) - 1) / len(ranges)
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel() // a dead run: stop the sibling shards
+		}
+		errMu.Unlock()
+	}
+
+	for k, r := range ranges {
+		if r.count == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int, r shardRange) {
+			defer wg.Done()
+			var lastErr error
+			for attempt := 0; attempt <= s.retries(); attempt++ {
+				if ctx.Err() != nil {
+					return
+				}
+				lastErr = s.runShard(ctx, argv, o, kind, payload, r, coll)
+				if lastErr == nil {
+					return
+				}
+				if _, fatal := lastErr.(kindError); fatal {
+					fail(fmt.Errorf("runner: shard %d (replicas %d-%d): %w",
+						k, r.start, r.start+r.count-1, lastErr))
+					return
+				}
+			}
+			if ctx.Err() == nil {
+				fail(fmt.Errorf("runner: shard %d (replicas %d-%d) failed after %d attempts: %w",
+					k, r.start, r.start+r.count-1, s.retries()+1, lastErr))
+			}
+		}(k, r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}
+
+// runShard spawns one worker process for a replica range and feeds its
+// results to the collector as frames arrive.
+func (s Subprocess) runShard(ctx context.Context, argv []string, o Options, kind string, payload []byte, r shardRange, coll *collector) error {
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), s.Env...)
+	var stderr boundedBuffer
+	cmd.Stderr = &stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawn worker %q: %w", argv[0], err)
+	}
+
+	// The inactivity watchdog: any frame resets it; silence kills the
+	// worker, which surfaces below as a read error on stdout.
+	var timedOut atomic.Bool
+	var watchdog *time.Timer
+	if d := s.timeout(); d > 0 {
+		watchdog = time.AfterFunc(d, func() {
+			timedOut.Store(true)
+			cmd.Process.Kill()
+		})
+	}
+
+	loopErr := func() error {
+		job := jobFrame{Kind: kind, Payload: payload, Seed: o.Seed, Start: r.start, Count: r.count, Workers: o.Workers}
+		if err := writeFrame(stdin, job); err != nil {
+			return fmt.Errorf("send job: %w", err)
+		}
+		stdin.Close()
+
+		br := bufio.NewReader(stdout)
+		for seen := 0; seen < r.count; seen++ {
+			var f resultFrame
+			if err := readFrame(br, &f); err != nil {
+				return fmt.Errorf("worker stream ended after %d/%d results: %w", seen, r.count, err)
+			}
+			if watchdog != nil {
+				watchdog.Reset(s.timeout())
+			}
+			if f.Replica < r.start || f.Replica >= r.start+r.count {
+				return fmt.Errorf("worker answered for replica %d outside its range [%d,%d)", f.Replica, r.start, r.start+r.count)
+			}
+			if f.Err != "" {
+				return kindError{fmt.Errorf("replica %d: %s", f.Replica, f.Err)}
+			}
+			coll.add(f.Replica, f.Result)
+		}
+		return nil
+	}()
+
+	// Reap the process before returning so a retry never races its
+	// predecessor; Wait also flushes the worker's remaining stderr.
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	stdin.Close()
+	if loopErr != nil {
+		cmd.Process.Kill()
+	}
+	waitErr := cmd.Wait()
+
+	switch {
+	case loopErr != nil:
+		if fatal, ok := loopErr.(kindError); ok {
+			return fatal
+		}
+		if timedOut.Load() {
+			return fmt.Errorf("worker produced no frame for %v (%s)", s.timeout(), stderrNote(&stderr))
+		}
+		return fmt.Errorf("%w (%s)", loopErr, stderrNote(&stderr))
+	case waitErr != nil:
+		if timedOut.Load() {
+			// The watchdog fired in the window between the final frame read
+			// and its Stop: every result arrived, the kill was ours — a
+			// completed shard, not a crash (a retry would only redo it all).
+			return nil
+		}
+		return fmt.Errorf("worker exited uncleanly after all results (%s): %w", stderrNote(&stderr), waitErr)
+	}
+	return nil
+}
+
+// boundedBuffer keeps the head of a worker's stderr for error reports
+// without letting a chatty worker grow memory unboundedly.
+type boundedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+const maxStderr = 4 << 10
+
+func (b *boundedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if room := maxStderr - b.buf.Len(); room > 0 {
+		if len(p) > room {
+			b.buf.Write(p[:room])
+		} else {
+			b.buf.Write(p)
+		}
+	}
+	return len(p), nil
+}
+
+func (b *boundedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func stderrNote(b *boundedBuffer) string {
+	s := bytes.TrimSpace([]byte(b.String()))
+	if len(s) == 0 {
+		return "no stderr"
+	}
+	return "stderr: " + string(s)
+}
+
+var _ io.Writer = (*boundedBuffer)(nil)
+var _ Backend = Subprocess{}
+var _ Backend = InProcess{}

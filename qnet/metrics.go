@@ -1,6 +1,8 @@
 package qnet
 
 import (
+	"encoding/json"
+
 	"qnp/internal/quantum"
 	"qnp/internal/runner"
 	"qnp/internal/sim"
@@ -137,6 +139,33 @@ type Metrics struct {
 
 // Circuit returns a circuit's metrics, or nil for unknown IDs.
 func (m *Metrics) Circuit(id CircuitID) *CircuitMetrics { return m.byID[id] }
+
+// UnmarshalJSON decodes metrics produced by a worker process (the default
+// encoding covers every exported field exactly: all counters are integers
+// or float64s, which Go's JSON codec round-trips bit-identically) and
+// rebuilds the unexported lookup indexes, so a decoded Metrics answers
+// Circuit and request queries like the original. The pendingFinite counter
+// is run-time state (only the scenario engine's wait loop reads it) and is
+// recomputed from the request records.
+func (m *Metrics) UnmarshalJSON(b []byte) error {
+	type plain Metrics // shed the method set to avoid recursion
+	if err := json.Unmarshal(b, (*plain)(m)); err != nil {
+		return err
+	}
+	m.byID = make(map[CircuitID]*CircuitMetrics, len(m.Circuits))
+	for _, cm := range m.Circuits {
+		m.byID[cm.ID] = cm
+		cm.reqByID = make(map[RequestID]*RequestMetrics, len(cm.Requests))
+		cm.pendingFinite = 0
+		for _, rm := range cm.Requests {
+			cm.reqByID[rm.ID] = rm
+			if rm.Pairs > 0 && !rm.Done && !rm.Rejected {
+				cm.pendingFinite++
+			}
+		}
+	}
+	return nil
+}
 
 // TotalDelivered sums deliveries over all circuits.
 func (m *Metrics) TotalDelivered() int {

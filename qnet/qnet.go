@@ -26,7 +26,13 @@
 // topology's shape, and pluggable workloads (ContinuousKeep, IntervalKeep,
 // PoissonKeep, OnOffKeep, MeasureStream, ...) model traffic patterns.
 // Scenario.RunReplicated fans independent replicas across a worker pool
-// with disjoint per-replica seeds and order-stable results.
+// with disjoint per-replica seeds and order-stable results; with a
+// runner.Backend in ReplicaOptions (runner.Subprocess) the same replicas
+// shard across worker processes instead, bit-identically. Declarative
+// scenarios serialize through ScenarioSpec — JSON complete enough for a
+// worker process to reconstruct and run them from bytes — with custom
+// workload/selector types made portable via RegisterWorkload and
+// RegisterSelector.
 //
 // # Topologies
 //

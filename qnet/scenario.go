@@ -2,6 +2,7 @@ package qnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -101,7 +102,7 @@ func (t TopologySpec) materialize(cfg Config) (*Network, error) {
 		return RandomGraph(cfg, t.Nodes, t.Alpha, t.Beta), nil
 	case TopoCustom:
 		if t.Build == nil {
-			return nil, fmt.Errorf("qnet: custom topology without Build")
+			return nil, errors.New("qnet: custom topology without Build")
 		}
 		return t.Build(cfg), nil
 	}
@@ -111,45 +112,68 @@ func (t TopologySpec) materialize(cfg Config) (*Network, error) {
 // A Selector derives circuit endpoints from the materialized topology, so
 // scenarios stay valid across shapes and seeds. The rng is the scenario's
 // selection stream — deterministic per seed and disjoint from the physics
-// stream.
-type Selector func(net *Network, rng *rand.Rand) [][2]string
+// stream. The built-in selectors (DiameterPair, RandomPairs) are plain
+// data values, so scenarios using them serialize for process-sharded
+// execution; ad-hoc logic can wrap a SelectorFunc instead, at the cost of
+// shardability (unless the concrete type is registered via
+// RegisterSelector).
+type Selector interface {
+	Pairs(net *Network, rng *rand.Rand) [][2]string
+}
+
+// SelectorFunc adapts a plain function to the Selector interface.
+type SelectorFunc func(net *Network, rng *rand.Rand) [][2]string
+
+// Pairs implements Selector.
+func (f SelectorFunc) Pairs(net *Network, rng *rand.Rand) [][2]string { return f(net, rng) }
+
+// diameterPair is the DiameterPair selector value.
+type diameterPair struct{}
 
 // DiameterPair selects the topology's farthest node pair — its hardest
 // circuit.
-func DiameterPair() Selector {
-	return func(net *Network, _ *rand.Rand) [][2]string {
-		src, dst, _ := net.Diameter()
-		return [][2]string{{src, dst}}
-	}
+func DiameterPair() Selector { return diameterPair{} }
+
+// Pairs implements Selector.
+func (diameterPair) Pairs(net *Network, _ *rand.Rand) [][2]string {
+	src, dst, _ := net.Diameter()
+	return [][2]string{{src, dst}}
+}
+
+// randomPairs is the RandomPairs selector value.
+type randomPairs struct {
+	K int
 }
 
 // RandomPairs selects k distinct unordered node pairs uniformly at random
 // (clamped to the number of pairs the topology has).
-func RandomPairs(k int) Selector {
-	return func(net *Network, rng *rand.Rand) [][2]string {
-		ids := net.NodeIDs()
-		if max := len(ids) * (len(ids) - 1) / 2; k > max {
-			k = max
-		}
-		seen := make(map[[2]string]bool, k)
-		out := make([][2]string, 0, k)
-		for len(out) < k {
-			i, j := rng.Intn(len(ids)), rng.Intn(len(ids))
-			if i == j {
-				continue
-			}
-			p := [2]string{ids[i], ids[j]}
-			if p[0] > p[1] {
-				p[0], p[1] = p[1], p[0]
-			}
-			if seen[p] {
-				continue
-			}
-			seen[p] = true
-			out = append(out, p)
-		}
-		return out
+func RandomPairs(k int) Selector { return randomPairs{K: k} }
+
+// Pairs implements Selector.
+func (s randomPairs) Pairs(net *Network, rng *rand.Rand) [][2]string {
+	k := s.K
+	ids := net.NodeIDs()
+	if max := len(ids) * (len(ids) - 1) / 2; k > max {
+		k = max
 	}
+	seen := make(map[[2]string]bool, k)
+	out := make([][2]string, 0, k)
+	for len(out) < k {
+		i, j := rng.Intn(len(ids)), rng.Intn(len(ids))
+		if i == j {
+			continue
+		}
+		p := [2]string{ids[i], ids[j]}
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
 }
 
 // CircuitSpec declares one circuit of a scenario: its endpoints (explicit,
@@ -297,7 +321,7 @@ func (sc Scenario) Run() (*Result, error) {
 			}
 			pairs = [][2]string{{p[0], p[len(p)-1]}}
 		case spec.Select != nil:
-			pairs = spec.Select(net, selRand)
+			pairs = spec.Select.Pairs(net, selRand)
 		default:
 			pairs = [][2]string{{spec.Src, spec.Dst}}
 		}
@@ -570,15 +594,26 @@ type ReplicaOptions struct {
 	// Context, when non-nil, cancels remaining replicas; cancelled slots
 	// are nil in the result.
 	Context context.Context
+	// Backend, when non-nil, executes replicas through the runner's
+	// Backend seam instead of the in-process pool — runner.Subprocess
+	// shards them across worker processes. The scenario must then be fully
+	// declarative (see Scenario.Spec); replica seeding and result order are
+	// backend-independent, so the metrics are bit-identical to an
+	// in-process run for any backend, shard count or worker count.
+	Backend runner.Backend
 }
 
 // RunReplicated fans independent replicas of the scenario across a worker
 // pool and returns their metrics in replica order — bit-identical for any
-// worker count. A replica that fails returns a Metrics with Err set rather
-// than aborting its siblings.
+// worker count (and, with a process-sharded Backend, any shard count). A
+// replica that fails returns a Metrics with Err set rather than aborting
+// its siblings.
 func (sc Scenario) RunReplicated(o ReplicaOptions) ([]*Metrics, error) {
 	if o.Replicas < 1 {
 		o.Replicas = 1
+	}
+	if o.Backend != nil {
+		return sc.runReplicatedOn(o)
 	}
 	ropts := runner.Options{Workers: o.Workers, Seed: o.Seed, Progress: o.Progress, Context: o.Context}
 	return runner.Run(ropts, o.Replicas, func(_ int, seed int64) *Metrics {
