@@ -38,7 +38,7 @@ func main() {
 	// exits here, before flag parsing.
 	runner.MaybeWorker()
 
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer, churn, all")
 	runs := flag.Int("runs", 0, "independent simulation runs per point (0 = default)")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -137,5 +137,8 @@ func main() {
 	}
 	if want("eer") {
 		run("eer", func() interface{ Print(io.Writer) } { return experiments.EERSaturation(o) })
+	}
+	if want("churn") {
+		run("churn", func() interface{ Print(io.Writer) } { return experiments.Churn(o) })
 	}
 }

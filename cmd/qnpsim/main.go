@@ -45,9 +45,12 @@ func main() {
 	dst := flag.String("dst", "", "destination end-node (default: the matching diameter endpoint)")
 	circuits := flag.Int("circuits", 1, "concurrent circuits (>1 draws random endpoint pairs)")
 	fidelity := flag.Float64("fidelity", 0.85, "end-to-end fidelity target")
-	workload := flag.String("workload", "batch", "workload per circuit: batch, continuous, interval, poisson, onoff, measure")
+	workload := flag.String("workload", "batch", "workload per circuit: batch, continuous, interval, poisson, onoff, measure, churn")
 	pairs := flag.Int("pairs", 10, "pairs per request (batch, interval, poisson, onoff, measure)")
-	interval := flag.Float64("interval", 1, "request inter-arrival seconds (interval, poisson, onoff)")
+	interval := flag.Float64("interval", 1, "request inter-arrival seconds (interval, poisson, onoff); mean circuit-arrival offset (churn)")
+	hold := flag.Float64("hold", 5, "mean circuit holding seconds (churn)")
+	minEER := flag.Float64("mineer", 0, "per-circuit admission demand in pairs/s (churn; needs admission control)")
+	staticAlloc := flag.Bool("static-alloc", false, "freeze admission allocations at MaxLPR/2 instead of re-fitting to membership")
 	cutoff := flag.String("cutoff", "long", "cutoff policy: long, short, none")
 	maxEER := flag.Float64("maxeer", 0, "circuit EER allocation for admission control (0 = off)")
 	nearterm := flag.Bool("nearterm", false, "near-term hardware (25 km telecom links, carbon storage)")
@@ -69,9 +72,10 @@ func main() {
 		cfg = qnet.NearTermConfig(25000)
 	}
 	cfg.Seed = *seed
-	if *maxEER > 0 {
+	if *maxEER > 0 || *minEER > 0 {
 		cfg.EnforceEER = true
 	}
+	cfg.StaticAllocation = *staticAlloc
 
 	var topo qnet.TopologySpec
 	nodeCount := *nodes
@@ -128,12 +132,22 @@ func main() {
 	}
 
 	iv := sim.DurationFromSeconds(*interval)
+	churning := *workload == "churn"
 	var wl qnet.Workload
 	switch *workload {
 	case "batch":
 		wl = qnet.KeepBatch{Count: 1, Pairs: *pairs}
 	case "continuous":
 		wl = qnet.ContinuousKeep{}
+	case "churn":
+		// Churn circuits carry an open-ended load: rate-based (policed
+		// against the admission allocation) when a demand is given,
+		// saturating otherwise.
+		if *minEER > 0 {
+			wl = qnet.MeasureStream{Rate: *minEER}
+		} else {
+			wl = qnet.ContinuousKeep{}
+		}
 	case "interval":
 		wl = qnet.IntervalKeep{Interval: iv, Pairs: *pairs}
 	case "poisson":
@@ -149,6 +163,13 @@ func main() {
 	spec := qnet.CircuitSpec{
 		ID: "cli", Fidelity: *fidelity, Policy: policy, MaxEER: *maxEER,
 		Workload: wl, RecordFidelity: true,
+	}
+	if churning {
+		spec.Arrival = qnet.Exponential(iv)
+		spec.Holding = qnet.Exponential(sim.DurationFromSeconds(*hold))
+		spec.MinEER = *minEER
+		spec.Optional = true
+		spec.RecordFidelity = false
 	}
 	switch {
 	case *circuits > 1:
@@ -207,6 +228,19 @@ func main() {
 		}
 		fmt.Printf("%d/%d replicas ran (base seed %d, per-replica seeds disjoint)\n", ok, *replicas, *seed)
 		fmt.Printf("mean aggregate EER %.2f pairs/s\n", qnet.MeanAggregateEER(ms))
+		if churning && ok > 0 {
+			var adm, rej, tw float64
+			for _, m := range ms {
+				if m == nil || m.Err != "" {
+					continue
+				}
+				adm += float64(m.Admitted)
+				rej += float64(m.RejectedAtAdmission)
+				tw += m.TimeWeightedEER()
+			}
+			fmt.Printf("churn means: %.1f admitted, %.1f rejected at admission; time-weighted EER %.2f pairs per circuit-second\n",
+				adm/float64(ok), rej/float64(ok), tw/float64(ok))
+		}
 		for _, cm := range ms[0].Circuits {
 			// Random topologies and random endpoint selectors redraw per
 			// replica seed; only name endpoints when every replica agrees.
@@ -237,11 +271,23 @@ func main() {
 	mid := map[string]bool{}
 	for _, cm := range m.Circuits {
 		if !cm.Established {
-			fmt.Printf("circuit %s %s→%s: NOT ESTABLISHED (%s)\n", cm.ID, cm.Src, cm.Dst, cm.Err)
+			what := "NOT ESTABLISHED"
+			if cm.AdmissionRejected {
+				what = "REJECTED AT ADMISSION"
+			}
+			fmt.Printf("circuit %s %s→%s: %s (%s)\n", cm.ID, cm.Src, cm.Dst, what, cm.Err)
 			continue
 		}
 		fmt.Printf("circuit %s %s→%s: path=%v link-fidelity=%.3f cutoff=%v LPR=%.1f/s\n",
 			cm.ID, cm.Src, cm.Dst, cm.Path, cm.Plan.LinkFidelity, cm.Plan.Cutoff, cm.Plan.MaxLPR)
+		if churning {
+			left := "held to end of run"
+			if cm.TornDownAt != 0 {
+				left = fmt.Sprintf("departed t=%.3fs", cm.TornDownAt.Seconds())
+			}
+			fmt.Printf("  arrived t=%.3fs, established t=%.3fs, %s (lifetime %.3fs)\n",
+				cm.ArrivedAt.Seconds(), cm.EstablishedAt.Seconds(), left, cm.Lifetime(m.End).Seconds())
+		}
 		status := "all requests complete"
 		if !cm.AllComplete() {
 			status = "open/incomplete requests at horizon"
@@ -264,4 +310,8 @@ func main() {
 	}
 	fmt.Printf("totals: %d pairs (%.2f/s aggregate); intermediate nodes: %d swaps, %d cutoff discards; classical messages: %d\n",
 		m.TotalDelivered(), m.AggregateEER(), swaps, discards, m.ClassicalMessages)
+	if churning {
+		fmt.Printf("churn: %d admitted, %d rejected at admission; time-weighted EER %.2f pairs per circuit-second\n",
+			m.Admitted, m.RejectedAtAdmission, m.TimeWeightedEER())
+	}
 }

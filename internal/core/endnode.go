@@ -150,7 +150,13 @@ func (n *Node) finishRequest(cs *circuit, rs *reqState) {
 	if n.apps.OnComplete != nil {
 		n.apps.OnComplete(cs.entry.Circuit, rs.req.ID)
 	}
-	// Admit shaped requests that now fit.
+	n.admitQueued(cs)
+}
+
+// admitQueued admits shaped requests that fit the circuit's current EER
+// allocation — after a completion frees capacity, or after a re-fit grows
+// the allocation itself.
+func (n *Node) admitQueued(cs *circuit) {
 	for len(cs.queued) > 0 {
 		next := cs.queued[0]
 		minEER := next.req.MinEER()
@@ -508,9 +514,11 @@ func (n *Node) TestEstimateFor(id CircuitID) (float64, int, bool) {
 	return n.testFidelityEstimate(cs), samples, true
 }
 
-// NodeStats aggregates a node's QNP counters across circuits.
+// NodeStats aggregates a node's QNP counters across circuits. LateDrops
+// counts data-plane messages dropped because their circuit had already torn
+// down (churn stragglers).
 type NodeStats struct {
-	Swaps, Discards, ExpiresSent, TrackMismatches uint64
+	Swaps, Discards, ExpiresSent, TrackMismatches, LateDrops uint64
 }
 
 // Stats returns the node's counters.
@@ -522,5 +530,6 @@ func (n *Node) Stats() NodeStats {
 		st.ExpiresSent += cs.expiresSent
 		st.TrackMismatches += cs.trackMismatch
 	}
+	st.LateDrops = n.lateDrops
 	return st
 }

@@ -175,6 +175,14 @@ type Node struct {
 
 	circuits map[CircuitID]*circuit
 	apps     AppCallbacks
+	// torn tombstones recently uninstalled circuits (keyed by teardown
+	// time): the teardown wave races in-flight data-plane messages, so a
+	// TRACK or EXPIRE arriving for a tombstoned circuit is dropped as a
+	// legitimate late straggler rather than treated as a signalling bug.
+	// The GC sweep reclaims old tombstones.
+	torn map[CircuitID]sim.Time
+	// lateDrops counts messages dropped against tombstones.
+	lateDrops uint64
 	// gcRunning marks the periodic soft-state sweep as started.
 	gcRunning bool
 }
@@ -189,6 +197,7 @@ func NewNode(s *sim.Simulation, net *netsim.Network, dev *device.Device, fabric 
 		dev:      dev,
 		fabric:   fabric,
 		circuits: make(map[CircuitID]*circuit),
+		torn:     make(map[CircuitID]sim.Time),
 	}
 	net.Handle(n.id, n.handleMessage)
 	return n
@@ -226,6 +235,7 @@ func (n *Node) InstallCircuit(e RoutingEntry) {
 		cs.dmx = newDemux()
 	}
 	n.circuits[e.Circuit] = cs
+	delete(n.torn, e.Circuit) // a reinstalled ID is live again
 	if !n.gcRunning {
 		n.gcRunning = true
 		n.sim.Schedule(gcInterval, n.gcSweep)
@@ -288,6 +298,14 @@ func (n *Node) gcSweep() {
 			}
 		}
 	}
+	// Teardown tombstones outlive any in-flight message by orders of
+	// magnitude before reclamation (message latencies are sub-second).
+	tombCutoff := now.Add(-2 * gcInterval)
+	for id, at := range n.torn {
+		if at < tombCutoff {
+			delete(n.torn, id)
+		}
+	}
 	n.sim.Schedule(gcInterval, n.gcSweep)
 }
 
@@ -315,6 +333,27 @@ func (n *Node) UninstallCircuit(id CircuitID) {
 		}
 	}
 	delete(n.circuits, id)
+	n.torn[id] = n.sim.Now()
+}
+
+// UpdateCircuitEER re-fits the circuit's end-to-end rate allocation at this
+// node (§4.4: the controller recomputes allocations as circuits join and
+// leave; the signalling protocol propagates the new value along the path).
+// The head-end re-derives its link pacing from the new allocation and
+// re-examines shaped requests, which may now fit.
+func (n *Node) UpdateCircuitEER(id CircuitID, maxEER float64) {
+	cs, ok := n.circuits[id]
+	if !ok {
+		return // circuit mid-teardown: the update raced its departure
+	}
+	cs.entry.MaxEER = maxEER
+	if cs.role != RoleHead {
+		return
+	}
+	if rate := n.requestedRate(cs); rate != 0 && cs.downRegistered {
+		n.registerLinks(cs, rate)
+	}
+	n.admitQueued(cs)
 }
 
 // Circuit returns the routing entry installed for a circuit.
@@ -341,16 +380,41 @@ func (n *Node) mustCircuit(id CircuitID) *circuit {
 func (n *Node) handleMessage(from netsim.NodeID, msg netsim.Message) {
 	switch m := msg.(type) {
 	case ForwardMsg:
-		n.onForward(m)
+		if !n.dropLate(m.Circuit) {
+			n.onForward(m)
+		}
 	case CompleteMsg:
-		n.onComplete(m)
+		if !n.dropLate(m.Circuit) {
+			n.onComplete(m)
+		}
 	case TrackMsg:
-		n.onTrack(m)
+		if !n.dropLate(m.Circuit) {
+			n.onTrack(m)
+		}
 	case ExpireMsg:
-		n.onExpire(m)
+		if !n.dropLate(m.Circuit) {
+			n.onExpire(m)
+		}
 	case TestResultMsg:
-		n.onTestResult(m)
+		if !n.dropLate(m.Circuit) {
+			n.onTestResult(m)
+		}
 	}
+}
+
+// dropLate reports (and counts) a data-plane message for a circuit that has
+// already torn down at this node — the teardown wave races in-flight
+// messages, so stragglers are a legitimate outcome, not a signalling bug.
+// Messages for circuits never installed still panic via mustCircuit.
+func (n *Node) dropLate(id CircuitID) bool {
+	if _, live := n.circuits[id]; live {
+		return false
+	}
+	if _, gone := n.torn[id]; gone {
+		n.lateDrops++
+		return true
+	}
+	return false
 }
 
 func (n *Node) sendUp(cs *circuit, msg netsim.Message) {
@@ -391,7 +455,7 @@ func (n *Node) registerLinks(cs *circuit, rate float64) {
 			if rate != maxLPRSentinel {
 				pace = rate
 			}
-			eng.SetPace(e.DownLabel, pace)
+			eng.SetPace(string(n.id), e.DownLabel, pace)
 		}
 	}
 	if e.Upstream != "" && !cs.upRegistered {

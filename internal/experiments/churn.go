@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qnp/internal/runner"
+	"qnp/internal/sim"
+	"qnp/qnet"
+)
+
+// ChurnPoint is one (topology, hold time, allocation policy) cell of the
+// churn study, averaged over replicas.
+type ChurnPoint struct {
+	Topology string
+	HoldS    float64 // mean holding time (s)
+	Static   bool    // static MaxLPR/2 allocation instead of re-fit
+	Offered  int     // circuit arrivals offered per run
+	Admitted float64 // mean circuits admitted
+	Rejected float64 // mean circuits rejected at admission
+	TWEER    float64 // mean time-weighted EER (pairs per circuit-second)
+	Deliv    float64 // mean total pairs delivered
+}
+
+// ChurnData is the circuit-churn admission study.
+type ChurnData struct {
+	Points   []ChurnPoint
+	Arrivals int
+	DemandPS float64
+	HorizonS float64
+}
+
+// churnTargetF is the end-to-end fidelity target of every churn circuit.
+const churnTargetF = 0.85
+
+// churnParams is the wire form of the sweep's shape.
+type churnParams struct {
+	Horizon  sim.Duration
+	Holds    []sim.Duration
+	Circuits int
+}
+
+// churnJob is one cell of the sweep.
+type churnJob struct {
+	topo   string
+	hold   sim.Duration
+	static bool
+}
+
+// churnResult is one replica's wire-friendly measurement.
+type churnResult struct {
+	Admitted  int
+	Rejected  int
+	TWEER     float64
+	Delivered int
+}
+
+// churnDemand is each circuit's rate demand: 40% of the uncontended
+// allocation, so the re-fit controller admits up to two circuits per link
+// (MaxLPR/(2·2) ≥ demand) and rejects a third, while the static controller
+// admits everything and lets the link contend. Deterministic — parent and
+// shard workers compute the identical value (the allocation depends only on
+// the uniform link hardware, so the dumbbell probe covers every topology).
+func churnDemand() float64 { return 0.4 * eerAllocation() }
+
+// churnScenario is one replica's declarative scenario: Circuits arrivals
+// with uniform offsets over the first 60% of the horizon (a Poisson
+// process conditioned on the arrival count has i.i.d. uniform arrival
+// times) and exponential holding, each demanding churnDemand() pairs/s,
+// admission-controlled with either re-fit or static allocation.
+func churnScenario(topo string, hold sim.Duration, static bool, p churnParams, demand float64) qnet.Scenario {
+	cfg := qnet.DefaultConfig()
+	cfg.EnforceEER = true
+	cfg.StaticAllocation = static
+	var ts qnet.TopologySpec
+	if topo == "grid" {
+		ts = qnet.GridTopo(3, 3)
+	} else {
+		ts = qnet.DumbbellTopo()
+	}
+	return qnet.Scenario{
+		Name:     "churn-" + topo,
+		Config:   cfg,
+		Topology: ts,
+		Circuits: []qnet.CircuitSpec{{
+			ID:       "vc",
+			Select:   qnet.RandomPairs(p.Circuits),
+			Fidelity: churnTargetF,
+			Policy:   qnet.CutoffShort,
+			Arrival:  qnet.Uniform(0, sim.Duration(float64(p.Horizon)*0.6)),
+			Holding:  qnet.Exponential(hold),
+			MinEER:   demand,
+			Workload: qnet.MeasureStream{Rate: demand},
+			Optional: true,
+		}},
+		Horizon: p.Horizon,
+	}
+}
+
+// churnGrid derives the replica grid from (Options, params) alone, so
+// shard workers rebuild it bit-identically.
+func churnGrid(o Options, p churnParams) (grid, []churnJob, int, float64) {
+	runs := o.Runs
+	if runs > 3 {
+		runs = 3
+	}
+	if o.Quick {
+		runs = 1
+	}
+	demand := churnDemand()
+	var jobs []churnJob
+	for _, topo := range []string{"dumbbell", "grid"} {
+		for _, hold := range p.Holds {
+			for _, static := range []bool{false, true} {
+				for r := 0; r < runs; r++ {
+					jobs = append(jobs, churnJob{topo: topo, hold: hold, static: static})
+				}
+			}
+		}
+	}
+	g := grid{n: len(jobs), run: func(i int, seed int64) any {
+		return churnRun(seed, jobs[i], p, demand)
+	}}
+	return g, jobs, runs, demand
+}
+
+func init() {
+	registerGrid("churn", func(o Options, raw json.RawMessage) (grid, error) {
+		p, err := decodeParams[churnParams](raw)
+		if err != nil {
+			return grid{}, err
+		}
+		g, _, _, _ := churnGrid(o, p)
+		return g, nil
+	})
+}
+
+// churnRun measures one churn replica.
+func churnRun(seed int64, j churnJob, p churnParams, demand float64) churnResult {
+	sc := churnScenario(j.topo, j.hold, j.static, p, demand)
+	sc.Config.Seed = seed
+	res, err := sc.Run()
+	if err != nil {
+		panic(err)
+	}
+	m := res.Metrics
+	return churnResult{
+		Admitted:  m.Admitted,
+		Rejected:  m.RejectedAtAdmission,
+		TWEER:     m.TimeWeightedEER(),
+		Delivered: m.TotalDelivered(),
+	}
+}
+
+// Churn runs the circuit-churn admission study: scheduled arrivals and
+// departures under admission control, comparing membership re-fit against
+// the static MaxLPR/2 allocation on the dumbbell and a 3×3 grid.
+func Churn(o Options) *ChurnData {
+	horizon, holds, circuits := 10*sim.Second, []sim.Duration{1 * sim.Second, 5 * sim.Second / 2, 5 * sim.Second}, 10
+	if o.Quick {
+		horizon, holds, circuits = 4*sim.Second, []sim.Duration{1 * sim.Second, 5 * sim.Second / 2}, 6
+	}
+	return churn(o, churnParams{Horizon: horizon, Holds: holds, Circuits: circuits})
+}
+
+// churn is the parameterised core.
+func churn(o Options, p churnParams) *ChurnData {
+	g, jobs, runs, demand := churnGrid(o, p)
+	results := gridMap[churnResult](o, "churn", p, g)
+	d := &ChurnData{Arrivals: p.Circuits, DemandPS: demand, HorizonS: p.Horizon.Seconds()}
+	for i := 0; i < len(jobs); i += runs {
+		j := jobs[i]
+		var adm, rej, tw, del runner.Stats
+		for _, r := range results[i : i+runs] {
+			adm.Add(float64(r.Admitted))
+			rej.Add(float64(r.Rejected))
+			tw.Add(r.TWEER)
+			del.Add(float64(r.Delivered))
+		}
+		d.Points = append(d.Points, ChurnPoint{
+			Topology: j.topo, HoldS: j.hold.Seconds(), Static: j.static, Offered: p.Circuits,
+			Admitted: adm.Mean(), Rejected: rej.Mean(), TWEER: tw.Mean(), Deliv: del.Mean(),
+		})
+	}
+	return d
+}
+
+// Print writes the churn table.
+func (d *ChurnData) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Circuit churn — %d Poisson arrivals/run, %.2f pairs/s demand each, %.0f s horizon",
+		d.Arrivals, d.DemandPS, d.HorizonS))
+	fmt.Fprintf(w, "%9s %7s %8s %9s %9s %9s %11s\n",
+		"topology", "hold/s", "alloc", "admitted", "rejected", "tw-EER", "delivered")
+	for _, p := range d.Points {
+		alloc := "re-fit"
+		if p.Static {
+			alloc = "static"
+		}
+		fmt.Fprintf(w, "%9s %7.1f %8s %9.1f %9.1f %9.2f %11.1f\n",
+			p.Topology, p.HoldS, alloc, p.Admitted, p.Rejected, p.TWEER, p.Deliv)
+	}
+	fmt.Fprintln(w, "re-fit splits each link's budget across its members and rejects arrivals it")
+	fmt.Fprintln(w, "cannot serve; static admits everything at MaxLPR/2 and lets links contend")
+}

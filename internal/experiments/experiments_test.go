@@ -425,6 +425,9 @@ func TestShardCountInvariance(t *testing.T) {
 		Fig5(o).Print(&buf)
 		// A parameterised grid exercises the params wire path.
 		hubContention(o, 2*sim.Second, []int{2}, []bool{true}).Print(&buf)
+		// Churn exercises the dynamic arrival/departure engine across the
+		// Backend seam with a trimmed grid.
+		churn(o, churnParams{Horizon: 2 * sim.Second, Holds: []sim.Duration{sim.Second}, Circuits: 4}).Print(&buf)
 		if !testing.Short() {
 			Fig9(o).Print(&buf)
 			EERSaturation(o).Print(&buf)
@@ -503,5 +506,56 @@ func TestHelpers(t *testing.T) {
 	}
 	if seconds(1500000000) != 1.5 {
 		t.Error("seconds wrong")
+	}
+}
+
+func TestChurnQuick(t *testing.T) {
+	t.Parallel()
+	o := QuickOptions()
+	var p churnParams
+	if testing.Short() {
+		p = churnParams{Horizon: 2 * sim.Second, Holds: []sim.Duration{sim.Second}, Circuits: 4}
+	} else {
+		p = churnParams{Horizon: 4 * sim.Second, Holds: []sim.Duration{sim.Second, 5 * sim.Second / 2}, Circuits: 6}
+	}
+	d := churn(o, p)
+	if len(d.Points) != 4*len(p.Holds) {
+		t.Fatalf("point count = %d, want %d", len(d.Points), 4*len(p.Holds))
+	}
+	if d.DemandPS <= 0 {
+		t.Fatalf("demand = %v", d.DemandPS)
+	}
+	var refitDeliv, staticDeliv float64
+	for _, pt := range d.Points {
+		if pt.Admitted+pt.Rejected > float64(pt.Offered) {
+			t.Errorf("%s hold=%.1f static=%v: admitted %.1f + rejected %.1f exceeds offered %d",
+				pt.Topology, pt.HoldS, pt.Static, pt.Admitted, pt.Rejected, pt.Offered)
+		}
+		if pt.Admitted <= 0 {
+			t.Errorf("%s hold=%.1f static=%v admitted nothing", pt.Topology, pt.HoldS, pt.Static)
+		}
+		if pt.Static && pt.Rejected != 0 {
+			t.Errorf("static allocation rejected %.1f arrivals; it admits everything", pt.Rejected)
+		}
+		if pt.Admitted > 0 && pt.Deliv <= 0 {
+			t.Errorf("%s hold=%.1f static=%v admitted %.1f circuits but delivered nothing",
+				pt.Topology, pt.HoldS, pt.Static, pt.Admitted)
+		}
+		if pt.Static {
+			staticDeliv += pt.Deliv
+		} else {
+			refitDeliv += pt.Deliv
+		}
+	}
+	if refitDeliv <= 0 || staticDeliv <= 0 {
+		t.Fatalf("empty sweep: refit=%v static=%v", refitDeliv, staticDeliv)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"re-fit", "static", "Circuit churn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q", want)
+		}
 	}
 }

@@ -76,6 +76,11 @@ type request struct {
 	// request's absolute rate on an otherwise idle link.
 	paceRate    float64
 	nextAllowed sim.Time
+	// paceSetter is the endpoint index that last set a positive pace (-1:
+	// none). The pace dies with its setter: when that side deactivates, the
+	// cap is cleared, so a circuit re-established over the same label never
+	// inherits a previous tenant's shaping.
+	paceSetter int
 }
 
 func (r *request) active() bool { return r.registered[0] && r.registered[1] }
@@ -177,6 +182,7 @@ func (e *Engine) Register(node string, label Label, minFidelity, rate float64, c
 			alpha:       alpha,
 			prob:        e.cfg.SuccessProb(e.devs[0].Params(), alpha),
 			used:        e.minVirtualUsed(rate),
+			paceSetter:  -1,
 		}
 		e.reqs[label] = r
 		e.order = append(e.order, r)
@@ -222,8 +228,10 @@ func (e *Engine) UpdateRate(label Label, rate float64) {
 
 // SetPace caps a request's absolute link-pair rate (pairs/s); 0 removes the
 // cap. Unlike the WRR weight — a relative share of link time — the pace is
-// an absolute ceiling, honoured even when the link is otherwise idle.
-func (e *Engine) SetPace(label Label, pairsPerSec float64) {
+// an absolute ceiling, honoured even when the link is otherwise idle. The
+// cap is owned by the setting endpoint (the circuit's head-end) and is
+// cleared when that endpoint deactivates.
+func (e *Engine) SetPace(node string, label Label, pairsPerSec float64) {
 	r, ok := e.reqs[label]
 	if !ok {
 		return
@@ -231,9 +239,25 @@ func (e *Engine) SetPace(label Label, pairsPerSec float64) {
 	r.paceRate = pairsPerSec
 	if pairsPerSec <= 0 {
 		r.nextAllowed = 0
+		r.paceSetter = -1
+	} else {
+		r.paceSetter = e.side(node)
 	}
 	e.dispatch()
 }
+
+// Pace reports the current absolute rate cap on a label (0 = uncapped or
+// unknown label) — an inspection hook for teardown/re-establish tests.
+func (e *Engine) Pace(label Label) float64 {
+	if r, ok := e.reqs[label]; ok {
+		return r.paceRate
+	}
+	return 0
+}
+
+// RequestCount reports how many labels hold state on this engine (active or
+// half-registered) — an inspection hook for teardown tests.
+func (e *Engine) RequestCount() int { return len(e.reqs) }
 
 // Deactivate stops one side's participation. When the in-flight round
 // belongs to a request that lost an endpoint, the round is aborted and its
@@ -247,6 +271,16 @@ func (e *Engine) Deactivate(node string, label Label) {
 	s := e.side(node)
 	r.registered[s] = false
 	r.consumers[s] = nil
+	if s == r.paceSetter {
+		// The pace cap dies with the endpoint that set it: a later tenant of
+		// this label (a re-established circuit) must not inherit shaping the
+		// old head-end configured. The surviving side keeps generating only
+		// once both ends re-register, at which point the new head re-asserts
+		// its own pace (or none).
+		r.paceRate = 0
+		r.nextAllowed = 0
+		r.paceSetter = -1
+	}
 	if e.current != nil && e.current.req == r {
 		e.abortCurrent()
 	}

@@ -296,3 +296,55 @@ func TestStatsAccumulate(t *testing.T) {
 		t.Errorf("stats implausible: %+v", st)
 	}
 }
+
+// TestPaceClearedWhenSetterDeactivates is the pace-residue regression net:
+// the absolute rate cap dies with the endpoint that set it, so a later
+// tenant of the same label (a re-established circuit) never inherits it.
+func TestPaceClearedWhenSetterDeactivates(t *testing.T) {
+	h := newHarness(1, 2)
+	h.collect("vc1", 0.9, 100, t)
+	h.engine.SetPace("a", "vc1", 3)
+	if got := h.engine.Pace("vc1"); got != 3 {
+		t.Fatalf("pace not set: %v", got)
+	}
+
+	// The non-setter side deactivating must NOT clear the cap (the setter
+	// still owns the link's shaping).
+	h.engine.Deactivate("b", "vc1")
+	if got := h.engine.Pace("vc1"); got != 3 {
+		t.Fatalf("pace cleared by non-setter deactivation: %v", got)
+	}
+
+	// The setter deactivating clears it even though the request object
+	// survives with the other side registered.
+	if err := h.engine.Register("b", "vc1", 0.9, 100, func(d Delivery) {
+		h.b.Free(d.Pair.Half(d.Pair.LocalSide("b")))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.engine.Deactivate("a", "vc1")
+	if got := h.engine.Pace("vc1"); got != 0 {
+		t.Fatalf("pace survives its setter's deactivation: %v", got)
+	}
+	if h.engine.RequestCount() != 1 {
+		t.Fatalf("request should survive with one side registered (got %d)", h.engine.RequestCount())
+	}
+
+	// Full deactivation removes the request entirely.
+	h.engine.Deactivate("b", "vc1")
+	if h.engine.RequestCount() != 0 {
+		t.Fatalf("request not removed after both sides deactivated")
+	}
+}
+
+// TestPaceCapsDeliveryRate pins SetPace's ceiling semantics on an otherwise
+// idle link.
+func TestPaceCapsDeliveryRate(t *testing.T) {
+	h := newHarness(1, 2)
+	da, _ := h.collect("vc1", 0.9, 1000, t)
+	h.engine.SetPace("a", "vc1", 5)
+	h.sim.RunFor(2 * sim.Second)
+	if n := len(*da); n > 11 {
+		t.Fatalf("paced request delivered %d pairs in 2 s (cap 5/s)", n)
+	}
+}

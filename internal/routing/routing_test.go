@@ -183,3 +183,84 @@ func TestEnforceEERPopulatesBudget(t *testing.T) {
 		t.Errorf("MaxEER = %v with MaxLPR %v", plan.MaxEER, plan.MaxLPR)
 	}
 }
+
+// TestRefitAllocations pins the §4.4 membership math: each link's budget
+// (MaxLPR/2) splits equally across the circuits on the path's most
+// contended link, Admit/Release report exactly the members whose share
+// changed (sorted), and fixed members occupy budget without being re-fit.
+func TestRefitAllocations(t *testing.T) {
+	c := NewController(dumbbell(), hardware.Simulation())
+	c.EnforceEER = true
+	plan, err := c.PlanCircuit("A0", "B0", 0.85, CutoffShort, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := plan.MaxLPR / 2
+	if plan.MaxEER != full {
+		t.Fatalf("uncontended allocation = %v, want MaxLPR/2 = %v", plan.MaxEER, full)
+	}
+
+	if refits := c.Admit("a", plan.Path, plan.MaxLPR, false); len(refits) != 0 {
+		t.Fatalf("first Admit re-fitted %v", refits)
+	}
+	if got, ok := c.Allocation("a"); !ok || got != full {
+		t.Fatalf("Allocation(a) = %v, %v", got, ok)
+	}
+
+	// A second circuit over the MA-MB bottleneck halves both.
+	plan2, err := c.PlanCircuit("A1", "B1", 0.85, CutoffShort, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.MaxEER != full/2 {
+		t.Fatalf("prospective shared allocation = %v, want %v", plan2.MaxEER, full/2)
+	}
+	refits := c.Admit("b", plan2.Path, plan2.MaxLPR, false)
+	if len(refits) != 1 || refits[0].Circuit != "a" || refits[0].MaxEER != full/2 {
+		t.Fatalf("Admit(b) refits = %+v, want a at %v", refits, full/2)
+	}
+
+	// A fixed member (caller-chosen cap) dilutes shares but is never
+	// re-fitted itself.
+	plan3, _ := c.PlanCircuit("A0", "B1", 0.85, CutoffShort, 0)
+	refits = c.Admit("fixed", plan3.Path, plan3.MaxLPR, true)
+	for _, r := range refits {
+		if r.Circuit == "fixed" {
+			t.Fatalf("fixed member re-fitted: %+v", refits)
+		}
+	}
+	if _, ok := c.Allocation("fixed"); ok {
+		t.Fatal("fixed member reports a re-fitted allocation")
+	}
+	if got, _ := c.Allocation("a"); got != full/3 {
+		t.Fatalf("three-way share = %v, want %v", got, full/3)
+	}
+
+	// Departures restore the survivors, in sorted order.
+	refits = c.Release("fixed")
+	if len(refits) != 2 || refits[0].Circuit != "a" || refits[1].Circuit != "b" ||
+		refits[0].MaxEER != full/2 || refits[1].MaxEER != full/2 {
+		t.Fatalf("Release(fixed) refits = %+v", refits)
+	}
+	refits = c.Release("b")
+	if len(refits) != 1 || refits[0].Circuit != "a" || refits[0].MaxEER != full {
+		t.Fatalf("Release(b) refits = %+v", refits)
+	}
+	if refits := c.Release("b"); refits != nil {
+		t.Fatalf("double Release returned %+v", refits)
+	}
+
+	// Static controllers never dilute.
+	s := NewController(dumbbell(), hardware.Simulation())
+	s.EnforceEER = true
+	s.Static = true
+	sp, _ := s.PlanCircuit("A0", "B0", 0.85, CutoffShort, 0)
+	s.Admit("a", sp.Path, sp.MaxLPR, false)
+	sp2, _ := s.PlanCircuit("A1", "B1", 0.85, CutoffShort, 0)
+	if sp2.MaxEER != full {
+		t.Fatalf("static prospective allocation = %v, want %v", sp2.MaxEER, full)
+	}
+	if refits := s.Admit("b", sp2.Path, sp2.MaxLPR, false); len(refits) != 0 {
+		t.Fatalf("static Admit re-fitted %v", refits)
+	}
+}

@@ -35,6 +35,18 @@ type TeardownMsg struct {
 	Hop     int
 }
 
+// UpdateMsg re-fits a circuit's end-to-end rate allocation at each node on
+// its path (§4.4: allocations are recomputed as circuits join and leave).
+// It rides the same hop-by-hop relay as FORWARD/SETUP — the head applies
+// the new MaxEER locally (re-pacing its first hop) and each downstream node
+// updates its routing-table entry in turn.
+type UpdateMsg struct {
+	Circuit core.CircuitID
+	MaxEER  float64
+	Path    []string
+	Hop     int
+}
+
 // Signaler drives circuit installation. One instance manages the whole
 // simulated network (it registers a handler on every node, the way each
 // node would run a signalling daemon).
@@ -90,6 +102,21 @@ func (s *Signaler) Teardown(id core.CircuitID, plan routing.Plan) {
 	s.net.Send(netsim.NodeID(plan.Path[0]), netsim.NodeID(plan.Path[1]), TeardownMsg{Circuit: id, Plan: plan, Hop: 1})
 }
 
+// UpdateAllocation re-fits an installed circuit's MaxEER along its path:
+// immediately at the head (which owns pacing), then hop by hop downstream.
+func (s *Signaler) UpdateAllocation(id core.CircuitID, path []string, maxEER float64) {
+	if len(path) < 2 {
+		return
+	}
+	head, ok := s.nodes[netsim.NodeID(path[0])]
+	if !ok {
+		return
+	}
+	head.UpdateCircuitEER(id, maxEER)
+	s.net.Send(netsim.NodeID(path[0]), netsim.NodeID(path[1]),
+		UpdateMsg{Circuit: id, MaxEER: maxEER, Path: path, Hop: 1})
+}
+
 // Ready reports whether the circuit's CONFIRM has returned.
 func (s *Signaler) Ready(id core.CircuitID) bool { return s.confirmed[id] }
 
@@ -126,6 +153,12 @@ func (s *Signaler) handle(n *core.Node, _ netsim.NodeID, msg netsim.Message) {
 		if m.Hop+1 < len(path) {
 			s.net.Send(netsim.NodeID(path[m.Hop]), netsim.NodeID(path[m.Hop+1]),
 				TeardownMsg{Circuit: m.Circuit, Plan: m.Plan, Hop: m.Hop + 1})
+		}
+	case UpdateMsg:
+		n.UpdateCircuitEER(m.Circuit, m.MaxEER)
+		if m.Hop+1 < len(m.Path) {
+			s.net.Send(netsim.NodeID(m.Path[m.Hop]), netsim.NodeID(m.Path[m.Hop+1]),
+				UpdateMsg{Circuit: m.Circuit, MaxEER: m.MaxEER, Path: m.Path, Hop: m.Hop + 1})
 		}
 	}
 }

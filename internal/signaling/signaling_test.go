@@ -162,3 +162,43 @@ func TestEstablishValidation(t *testing.T) {
 		t.Error("unknown head accepted")
 	}
 }
+
+// TestUpdateAllocationPropagates pins the re-fit propagation path: an
+// UpdateMsg rides hop by hop and rewrites MaxEER in every node's routing
+// entry, head first (synchronously — it owns pacing).
+func TestUpdateAllocationPropagates(t *testing.T) {
+	s, sig, nodes, ctrl := testNet(t)
+	plan, err := ctrl.PlanCircuit("n0", "n3", 0.8, routing.CutoffLong, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.MaxEER = 10
+	if err := sig.Establish("c1", plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(sim.Millisecond)
+
+	sig.UpdateAllocation("c1", plan.Path, 4)
+	if e, _ := nodes[0].Circuit("c1"); e.MaxEER != 4 {
+		t.Fatalf("head not updated synchronously: MaxEER = %v", e.MaxEER)
+	}
+	s.RunFor(sim.Millisecond)
+	for i, n := range nodes {
+		e, ok := n.Circuit("c1")
+		if !ok {
+			t.Fatalf("node %d lost entry", i)
+		}
+		if e.MaxEER != 4 {
+			t.Errorf("node %d MaxEER = %v, want 4", i, e.MaxEER)
+		}
+	}
+
+	// An update for a torn-down circuit is dropped harmlessly.
+	sig.Teardown("c1", plan)
+	s.RunFor(sim.Millisecond)
+	sig.UpdateAllocation("c1", plan.Path, 7)
+	s.RunFor(sim.Millisecond)
+	if _, ok := nodes[1].Circuit("c1"); ok {
+		t.Fatal("torn-down circuit resurrected by update")
+	}
+}

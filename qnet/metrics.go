@@ -35,6 +35,18 @@ type CircuitMetrics struct {
 	Err         string
 	Plan        Plan
 
+	// Lifetime stamps for churn scenarios. ArrivedAt is when the scenario
+	// offered the circuit (for pre-installed circuits, when its installation
+	// began); EstablishedAt is when its CONFIRM returned to the head-end;
+	// TornDownAt is when it departed (zero = it lived to the end of the
+	// run). AdmissionRejected marks arrivals that admission control refused
+	// — the circuit never installs, Established stays false, and Err holds
+	// the allocation-versus-demand detail.
+	ArrivedAt         sim.Time
+	EstablishedAt     sim.Time
+	TornDownAt        sim.Time
+	AdmissionRejected bool
+
 	// Delivered counts head-end pair (or measurement) deliveries, with the
 	// delivery times in order. With CircuitSpec.RecordFidelity the exact
 	// pair fidelity and declared Bell state at each delivery ride along.
@@ -49,6 +61,23 @@ type CircuitMetrics struct {
 
 	reqByID       map[RequestID]*RequestMetrics
 	pendingFinite int
+	// pendingArrival marks a scheduled (churn) circuit whose arrival has
+	// not resolved yet — WaitFor treats it as incomplete.
+	pendingArrival bool
+}
+
+// Lifetime is the circuit's established lifespan: EstablishedAt to
+// TornDownAt, the latter defaulting to end (the run's End) for circuits
+// that never departed. Zero for circuits that never established.
+func (c *CircuitMetrics) Lifetime(end sim.Time) sim.Duration {
+	if !c.Established {
+		return 0
+	}
+	to := c.TornDownAt
+	if to == 0 {
+		to = end
+	}
+	return to.Sub(c.EstablishedAt)
 }
 
 // DeliveredSince counts deliveries at or after from — the steady-state
@@ -129,6 +158,13 @@ type Metrics struct {
 	Circuits []*CircuitMetrics
 	byID     map[CircuitID]*CircuitMetrics
 
+	// Admission outcomes across circuit arrivals: Admitted counts circuits
+	// that established, RejectedAtAdmission those the admission control
+	// refused (allocation below their MinEER demand). Circuits that failed
+	// for other reasons (no feasible plan) count toward neither.
+	Admitted            int
+	RejectedAtAdmission int
+
 	Nodes             int
 	Links             int
 	ClassicalMessages uint64
@@ -185,11 +221,38 @@ func (m *Metrics) AggregateEER() float64 {
 	return float64(m.TotalDelivered()) / w
 }
 
+// TimeWeightedEER is the delivered pair rate per circuit-second of
+// established lifetime: total deliveries divided by the summed lifetimes of
+// the circuits that carried them. Under churn this weighs each circuit by
+// how long it actually held its links, where AggregateEER (which divides by
+// the whole run window) under-reports scenarios whose circuits live
+// briefly. With every circuit alive for the full window the two agree up to
+// the number of circuits.
+func (m *Metrics) TimeWeightedEER() float64 {
+	var life float64
+	for _, c := range m.Circuits {
+		life += c.Lifetime(m.End).Seconds()
+	}
+	if life <= 0 {
+		return 0
+	}
+	return float64(m.TotalDelivered()) / life
+}
+
 // waitSatisfied reports whether every listed circuit has no finite request
-// still pending — the scenario's early-stop condition.
+// still pending — the scenario's early-stop condition. A scheduled (churn)
+// circuit is unsatisfied until its arrival resolves; a departed circuit is
+// always satisfied (its unfinished requests died with it).
 func (m *Metrics) waitSatisfied(ids []CircuitID) bool {
 	for _, id := range ids {
-		if c := m.byID[id]; c != nil && c.Established && c.pendingFinite > 0 {
+		c := m.byID[id]
+		if c == nil {
+			continue
+		}
+		if c.pendingArrival {
+			return false
+		}
+		if c.TornDownAt == 0 && c.Established && c.pendingFinite > 0 {
 			return false
 		}
 	}

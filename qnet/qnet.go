@@ -25,6 +25,16 @@
 // endpoint selectors (DiameterPair, RandomPairs) derive circuits from the
 // topology's shape, and pluggable workloads (ContinuousKeep, IntervalKeep,
 // PoissonKeep, OnOffKeep, MeasureStream, ...) model traffic patterns.
+// Circuits need not live for the whole run: CircuitSpec.ArriveAt/HoldFor
+// (or the stochastic Arrival/Holding distributions) schedule arrivals and
+// departures on the simulation clock — scheduled circuits establish
+// asynchronously through the signalling plane, departures tear down via
+// the idempotent Circuit.Teardown, and per-circuit lifetime stamps plus
+// Metrics.TimeWeightedEER measure the dynamics. Under Config.EnforceEER
+// the routing controller re-fits rate allocations to link membership as
+// circuits join and leave (each link's budget splits across its circuits,
+// propagated hop by hop so head-end pacing tracks membership); an arrival
+// whose MinEER demand no longer fits is rejected at admission.
 // Scenario.RunReplicated fans independent replicas across a worker pool
 // with disjoint per-replica seeds and order-stable results; with a
 // runner.Backend in ReplicaOptions (runner.Subprocess) the same replicas
@@ -60,6 +70,7 @@
 package qnet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -96,6 +107,9 @@ type (
 	NodeStats = core.NodeStats
 	// Correlator identifies a link-pair / entanglement chain (§3.2).
 	Correlator = linklayer.Correlator
+	// Label identifies a circuit's reservation on one link (the paper's
+	// link-label); the signalling protocol uses the circuit ID itself.
+	Label = linklayer.Label
 )
 
 // Request consumption modes.
@@ -137,6 +151,13 @@ type Config struct {
 	// against it. The paper's evaluation leaves it off ("we do not perform
 	// any resource management").
 	EnforceEER bool
+	// StaticAllocation pins the admission allocation at the original
+	// MaxLPR/2-per-circuit heuristic. The default re-fits allocations to
+	// link membership as circuits join and leave (each link's budget is
+	// split equally among the circuits traversing it, propagated over the
+	// signalling plane); StaticAllocation reproduces the pre-re-fit
+	// behaviour for comparison studies. Only meaningful with EnforceEER.
+	StaticAllocation bool
 }
 
 // LinkKey canonically names the a-b link for Config.LinkLengthM overrides.
@@ -203,6 +224,7 @@ func New(cfg Config) *Network {
 	}
 	n.Controller = routing.NewController(n.Graph, cfg.Params)
 	n.Controller.EnforceEER = cfg.EnforceEER
+	n.Controller.Static = cfg.StaticAllocation
 	return n
 }
 
@@ -321,61 +343,191 @@ type CircuitOptions struct {
 	// ManualCutoff is used with CutoffManual.
 	ManualCutoff sim.Duration
 	// MaxEER overrides the circuit's end-to-end rate allocation for
-	// policing/shaping (0 = no admission control, as in the paper).
+	// policing/shaping (0 = no admission control, as in the paper). An
+	// overridden circuit is excluded from allocation re-fitting.
 	MaxEER float64
+	// MinEER is the circuit's rate demand at admission: under EnforceEER,
+	// establishment fails with ErrAdmissionRejected when the controller's
+	// (re-fitted) allocation falls below it. 0 admits unconditionally.
+	MinEER float64
 }
+
+// ErrAdmissionRejected marks an establishment refused by admission control:
+// the re-fitted allocation the circuit would receive is below its MinEER
+// demand. It is a protocol outcome, not an infrastructure failure; match it
+// with errors.Is.
+var ErrAdmissionRejected = errors.New("admission rejected: allocation below circuit demand")
 
 // Circuit is an established virtual circuit.
 type Circuit struct {
 	ID   CircuitID
 	Plan Plan
 	net  *Network
+	torn bool
 }
 
 // Establish plans a circuit with the routing controller, installs it via
 // the signalling protocol, and advances the simulation just enough for the
 // installation round trip to complete.
 func (n *Network) Establish(id CircuitID, src, dst string, fidelity float64, opts *CircuitOptions) (*Circuit, error) {
+	plan, fixed, err := n.planFor(src, dst, fidelity, opts)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		circ    *Circuit
+		asyncEr error
+		settled bool
+	)
+	n.establishPlanAsync(id, plan, fixed, minEEROf(opts), func(c *Circuit, err error) {
+		circ, asyncEr, settled = c, err, true
+	})
+	return n.driveInstall(id, plan, &circ, &asyncEr, &settled)
+}
+
+// minEEROf extracts the admission demand from options (0 = none).
+func minEEROf(opts *CircuitOptions) float64 {
+	if opts == nil {
+		return 0
+	}
+	return opts.MinEER
+}
+
+// EstablishAsync is Establish for callers inside a running simulation (a
+// churn scenario's scheduled arrivals): the installation round trip rides
+// the normal event flow instead of being stepped synchronously, and done
+// fires with the live circuit when its CONFIRM returns. Planning and
+// admission errors are reported synchronously through done before
+// EstablishAsync returns.
+func (n *Network) EstablishAsync(id CircuitID, src, dst string, fidelity float64, opts *CircuitOptions, done func(*Circuit, error)) {
+	plan, fixed, err := n.planFor(src, dst, fidelity, opts)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	n.establishPlanAsync(id, plan, fixed, minEEROf(opts), done)
+}
+
+// planFor runs the routing controller and applies the option overrides and
+// the MinEER admission check. fixed reports a caller-chosen MaxEER, which
+// allocation re-fitting must not touch.
+func (n *Network) planFor(src, dst string, fidelity float64, opts *CircuitOptions) (Plan, bool, error) {
 	o := CircuitOptions{}
 	if opts != nil {
 		o = *opts
 	}
 	plan, err := n.Controller.PlanCircuit(src, dst, fidelity, o.Policy, o.ManualCutoff)
 	if err != nil {
-		return nil, err
+		return Plan{}, false, err
 	}
+	fixed := false
 	if o.MaxEER > 0 {
 		plan.MaxEER = o.MaxEER
+		fixed = true
 	}
-	return n.EstablishPlan(id, plan)
+	// The demand check applies to overridden caps too: a circuit whose own
+	// fixed allocation cannot carry its demand is rejected, not admitted
+	// into permanent shaping.
+	if o.MinEER > 0 && n.Controller.EnforceEER && plan.MaxEER < o.MinEER {
+		return Plan{}, false, fmt.Errorf("qnet: circuit %s→%s needs %.2f pairs/s, allocation %.2f: %w",
+			src, dst, o.MinEER, plan.MaxEER, ErrAdmissionRejected)
+	}
+	return plan, fixed, nil
 }
 
 // EstablishPlan installs a hand-built plan, bypassing the routing
 // controller — the paper does exactly this for the near-term hardware
 // evaluation ("as our routing protocol does not work well in this
-// environment we manually populate the routing tables").
+// environment we manually populate the routing tables"). A manual plan's
+// MaxEER is the caller's business: it never joins allocation re-fitting.
 func (n *Network) EstablishPlan(id CircuitID, plan Plan) (*Circuit, error) {
-	if !n.started {
-		n.Start()
-	}
-	if _, dup := n.circuits[id]; dup {
-		return nil, fmt.Errorf("qnet: circuit %q already exists", id)
-	}
-	if err := n.signaler.Establish(id, plan, nil); err != nil {
-		return nil, err
+	var (
+		circ    *Circuit
+		asyncEr error
+		settled bool
+	)
+	n.establishPlanAsync(id, plan, true, 0, func(c *Circuit, err error) {
+		circ, asyncEr, settled = c, err, true
+	})
+	return n.driveInstall(id, plan, &circ, &asyncEr, &settled)
+}
+
+// driveInstall steps the simulation until an in-flight installation settles
+// — the synchronous Establish/EstablishPlan tail.
+func (n *Network) driveInstall(id CircuitID, plan Plan, circ **Circuit, asyncEr *error, settled *bool) (*Circuit, error) {
+	if *settled {
+		return *circ, *asyncEr
 	}
 	// Drive the installation round trip (twice the path delay plus slack).
 	// Stepping is bounded: only events at or before the deadline may fire,
 	// so a failed confirm can never silently overshoot virtual time.
 	deadline := n.Sim.Now().Add(n.Classical.PathDelay(toNodeIDs(plan.Path)).Scale(4) + sim.Millisecond)
-	for !n.signaler.Ready(id) && n.Sim.StepUntil(deadline) {
+	for !*settled && n.Sim.StepUntil(deadline) {
 	}
-	if !n.signaler.Ready(id) {
+	if !*settled {
 		return nil, fmt.Errorf("qnet: circuit %q installation did not confirm", id)
 	}
-	c := &Circuit{ID: id, Plan: plan, net: n}
-	n.circuits[id] = c
-	return c, nil
+	return *circ, *asyncEr
+}
+
+// establishPlanAsync installs a plan without stepping the simulation; done
+// fires when the CONFIRM returns to the head-end (or synchronously, with an
+// error, if installation cannot start). minEER is the circuit's admission
+// demand, re-checked at CONFIRM time against the then-current membership.
+func (n *Network) establishPlanAsync(id CircuitID, plan Plan, fixed bool, minEER float64, done func(*Circuit, error)) {
+	if !n.started {
+		n.Start()
+	}
+	if _, dup := n.circuits[id]; dup {
+		done(nil, fmt.Errorf("qnet: circuit %q already exists", id))
+		return
+	}
+	err := n.signaler.Establish(id, plan, func() {
+		c := &Circuit{ID: id, Plan: plan, net: n}
+		n.circuits[id] = c
+		// Joining may dilute the allocations of circuits sharing links with
+		// this one: re-fit and propagate the members' new caps (§4.4).
+		// Caller-fixed allocations join the membership (they occupy link
+		// budget) but never receive re-fit updates.
+		if n.Controller.EnforceEER && plan.MaxEER > 0 {
+			refits := n.Controller.Admit(string(id), plan.Path, plan.MaxLPR, fixed)
+			if alloc, ok := n.Controller.Allocation(string(id)); ok && !fixed {
+				if minEER > 0 && alloc < minEER {
+					// A racing arrival between planning and this CONFIRM
+					// diluted the share below the circuit's demand: the
+					// plan-time admission check no longer holds, so reject
+					// now and roll the installation back. Teardown releases
+					// the membership and re-propagates the survivors'
+					// allocations, making the dilution (never propagated)
+					// moot.
+					c.Teardown()
+					done(nil, fmt.Errorf("qnet: circuit %q allocation fell to %.2f below demand %.2f at confirm: %w",
+						id, alloc, minEER, ErrAdmissionRejected))
+					return
+				}
+				if alloc != plan.MaxEER {
+					// True up this circuit's own installed entries to the
+					// confirm-time share.
+					c.Plan.MaxEER = alloc
+					n.signaler.UpdateAllocation(id, plan.Path, alloc)
+				}
+			}
+			for _, r := range refits {
+				n.propagateRefit(r)
+			}
+		}
+		done(c, nil)
+	})
+	if err != nil {
+		done(nil, err)
+	}
+}
+
+// propagateRefit pushes one re-fitted allocation along its circuit's path.
+func (n *Network) propagateRefit(r routing.Refit) {
+	if path, ok := n.Controller.MemberPath(r.Circuit); ok {
+		n.signaler.UpdateAllocation(CircuitID(r.Circuit), path, r.MaxEER)
+	}
 }
 
 func toNodeIDs(path []string) []netsim.NodeID {
@@ -402,12 +554,26 @@ func (c *Circuit) Submit(req Request) error {
 // Cancel terminates an open-ended request.
 func (c *Circuit) Cancel(id RequestID) error { return c.Head().Cancel(c.ID, id) }
 
-// Teardown removes the circuit from the network.
+// Teardown removes the circuit from the network: the head end uninstalls
+// immediately, a TEARDOWN floods down the path, the handlers are dropped,
+// and — under admission control — the freed link budget is re-fitted to the
+// surviving circuits, propagated over the signalling plane so their SetPace
+// caps track the new membership (§4.1/§4.4). Teardown is idempotent: a
+// second call (or a call racing a scenario-driven departure) is a no-op
+// rather than a duplicate TEARDOWN flood, so it can never destroy a
+// re-established circuit with the same ID.
 func (c *Circuit) Teardown() {
+	if c.torn || c.net.circuits[c.ID] != c {
+		return
+	}
+	c.torn = true
 	c.net.signaler.Teardown(c.ID, c.Plan)
 	delete(c.net.circuits, c.ID)
 	delete(c.net.handlers[c.Plan.Path[0]], c.ID)
 	delete(c.net.handlers[c.Plan.Path[len(c.Plan.Path)-1]], c.ID)
+	for _, r := range c.net.Controller.Release(string(c.ID)) {
+		c.net.propagateRefit(r)
+	}
 }
 
 // Handlers are per-circuit application callbacks at one end-node.

@@ -200,6 +200,27 @@ type CircuitSpec struct {
 	// Plan bypasses the routing controller with a hand-built plan — the
 	// paper does this for the near-term evaluation (§5.3).
 	Plan *Plan
+	// ArriveAt schedules the circuit's arrival: instead of being installed
+	// up front, it establishes on the simulation clock this long after
+	// traffic opens (via the asynchronous signalling path, contending with
+	// live traffic). 0 pre-installs as before.
+	ArriveAt sim.Duration
+	// HoldFor tears the circuit down this long after its traffic opens
+	// (scenario-driven departure through Circuit.Teardown, triggering an
+	// allocation re-fit for survivors under EnforceEER). 0 holds the
+	// circuit to the end of the run.
+	HoldFor sim.Duration
+	// Arrival and Holding draw ArriveAt/HoldFor from a distribution
+	// instead — e.g. Exponential arrival offsets and holding times give a
+	// Poisson churn mix. Draws come from the scenario's dedicated churn
+	// stream (one per configured field per expanded circuit, in expansion
+	// order), never from the physics or workload streams.
+	Arrival *Dist
+	Holding *Dist
+	// MinEER is the circuit's demand at admission: under EnforceEER, an
+	// arrival whose re-fitted allocation falls below MinEER is rejected —
+	// counted in Metrics.RejectedAtAdmission, not treated as a run error.
+	MinEER float64
 	// Workload drives requests; nil establishes an idle circuit.
 	Workload Workload
 	// Head and Tail are application callbacks layered over the metrics
@@ -290,11 +311,38 @@ type liveCircuit struct {
 	vc   *Circuit
 	cm   *CircuitMetrics
 	ctx  *WorkloadContext
+	// arriveAt/holdFor are the resolved churn values (spec fields, or the
+	// per-circuit draws from the churn stream).
+	arriveAt sim.Duration
+	holdFor  sim.Duration
+}
+
+// runState carries the mutable engine state shared by the run loop and the
+// churn event callbacks.
+type runState struct {
+	net *Network
+	m   *Metrics
+	res *Result
+	// err records the first fatal failure raised from inside an event
+	// callback (a non-optional arrival that could not establish, a workload
+	// submission error); the run loop aborts on it.
+	err error
+}
+
+// fail records the first fatal error; the run loop checks it between
+// events.
+func (eng *runState) fail(err error) {
+	if eng.err == nil {
+		eng.err = err
+	}
 }
 
 // Run executes the scenario once and returns its metrics. Establishment
-// errors fail the run unless the circuit is Optional; workload submission
-// errors always fail it.
+// errors fail the run unless the circuit is Optional (admission rejections
+// under EnforceEER are never fatal — they are the studied outcome);
+// workload submission errors always fail it. Error returns still carry
+// well-formed partial metrics: Start/End and the network-wide counts are
+// stamped on every path.
 func (sc Scenario) Run() (*Result, error) {
 	cfg := sc.effectiveConfig()
 	net, err := sc.Topology.materialize(cfg)
@@ -306,10 +354,25 @@ func (sc Scenario) Run() (*Result, error) {
 	}
 	m := &Metrics{Name: sc.Name, byID: make(map[CircuitID]*CircuitMetrics)}
 	res := &Result{Metrics: m, Net: net, circs: make(map[CircuitID]*Circuit)}
+	eng := &runState{net: net, m: m, res: res}
+	// fail stamps the window and counts before an error return, so partial
+	// metrics from failed establishes are well-formed instead of
+	// zero-valued.
+	fail := func(err error) (*Result, error) {
+		if m.Start == 0 {
+			m.Start = net.Sim.Now()
+		}
+		m.End = net.Sim.Now()
+		sc.finalize(net, m)
+		return res, err
+	}
 
 	// Selector expansion draws from a selection stream derived from the
-	// seed — never from the simulation's physics stream.
-	selRand := rand.New(rand.NewSource(cfg.Seed*runner.SeedStride + 104729))
+	// seed, and churn scheduling from a churn stream — never from the
+	// simulation's physics stream, and on offsets disjoint from every
+	// workload stream (see the stream-family constants in churn.go).
+	selRand := rand.New(rand.NewSource(cfg.Seed*runner.SeedStride + selectionStreamOffset))
+	churnRand := rand.New(rand.NewSource(cfg.Seed*runner.SeedStride + churnStreamOffset))
 	var live []*liveCircuit
 	for _, spec := range sc.Circuits {
 		var pairs [][2]string
@@ -317,7 +380,7 @@ func (sc Scenario) Run() (*Result, error) {
 		case spec.Plan != nil:
 			p := spec.Plan.Path
 			if len(p) < 2 {
-				return nil, fmt.Errorf("qnet: scenario circuit %q: manual plan path too short", spec.ID)
+				return fail(fmt.Errorf("qnet: scenario circuit %q: manual plan path too short", spec.ID))
 			}
 			pairs = [][2]string{{p[0], p[len(p)-1]}}
 		case spec.Select != nil:
@@ -333,7 +396,7 @@ func (sc Scenario) Run() (*Result, error) {
 				id = CircuitID(fmt.Sprintf("%s-%d", id, j))
 			}
 			if _, dup := m.byID[id]; dup {
-				return nil, fmt.Errorf("qnet: scenario declares circuit %q twice", id)
+				return fail(fmt.Errorf("qnet: scenario declares circuit %q twice", id))
 			}
 			cm := &CircuitMetrics{ID: id, Src: p[0], Dst: p[1], reqByID: make(map[RequestID]*RequestMetrics)}
 			m.Circuits = append(m.Circuits, cm)
@@ -342,25 +405,48 @@ func (sc Scenario) Run() (*Result, error) {
 			lc.ctx = &WorkloadContext{
 				Net:     net,
 				Sim:     net.Sim,
-				Rand:    rand.New(rand.NewSource(cfg.Seed*runner.SeedStride + 2*int64(len(live)) + 1)),
+				Rand:    rand.New(rand.NewSource(cfg.Seed*runner.SeedStride + workloadStreamOffset(len(live)))),
 				Horizon: sc.Horizon,
 				cm:      cm,
+			}
+			// Churn resolution: fixed offsets, overridden by per-circuit
+			// draws from the churn stream (in expansion order — the draw
+			// sequence is a pure function of the scenario value and seed).
+			lc.arriveAt = spec.ArriveAt
+			if spec.Arrival != nil {
+				lc.arriveAt = spec.Arrival.draw(churnRand)
+			}
+			lc.holdFor = spec.HoldFor
+			if spec.Holding != nil {
+				lc.holdFor = spec.Holding.draw(churnRand)
 			}
 			live = append(live, lc)
 		}
 	}
 	for _, id := range sc.WaitFor {
 		if m.byID[id] == nil {
-			return nil, fmt.Errorf("qnet: WaitFor names unknown circuit %q", id)
+			return fail(fmt.Errorf("qnet: WaitFor names unknown circuit %q", id))
+		}
+	}
+
+	// Pre-installed circuits establish before traffic opens; scheduled
+	// (churn) arrivals establish on the simulation clock during the run.
+	pre := make([]*liveCircuit, 0, len(live))
+	var scheduled []*liveCircuit
+	for _, lc := range live {
+		if lc.arriveAt > 0 {
+			scheduled = append(scheduled, lc)
+		} else {
+			pre = append(pre, lc)
 		}
 	}
 
 	if sc.Sequential {
 		// Bring-up interleaves with traffic: each circuit's workload opens
 		// before the next circuit installs.
-		for _, lc := range live {
-			if err := sc.establish(net, lc); err != nil {
-				return res, err
+		for _, lc := range pre {
+			if err := sc.establish(eng, lc); err != nil {
+				return fail(err)
 			}
 			if lc.vc != nil {
 				res.circs[lc.id] = lc.vc
@@ -371,38 +457,38 @@ func (sc Scenario) Run() (*Result, error) {
 			}
 			for _, req := range lc.spec.Workload.Immediate(lc.ctx) {
 				if err := lc.ctx.Submit(req); err != nil {
-					return res, fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err)
+					return fail(fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err))
 				}
 			}
 			lc.spec.Workload.Start(lc.ctx)
 		}
 	} else {
-		for _, lc := range live {
-			if err := sc.establish(net, lc); err != nil {
-				return res, err
+		for _, lc := range pre {
+			if err := sc.establish(eng, lc); err != nil {
+				return fail(err)
 			}
 			if lc.vc != nil {
 				res.circs[lc.id] = lc.vc
 			}
 		}
-		for _, lc := range live {
+		for _, lc := range pre {
 			sc.attach(lc)
 		}
 		// Immediate phase: breadth-first across circuits, so simultaneous
 		// batches interleave like a round-robin submission loop.
-		immediates := make([][]Request, len(live))
-		for i, lc := range live {
+		immediates := make([][]Request, len(pre))
+		for i, lc := range pre {
 			if lc.vc != nil && lc.spec.Workload != nil {
 				immediates[i] = lc.spec.Workload.Immediate(lc.ctx)
 			}
 		}
 		for k := 0; ; k++ {
 			any := false
-			for i, lc := range live {
+			for i, lc := range pre {
 				if k < len(immediates[i]) {
 					any = true
 					if err := lc.ctx.Submit(immediates[i][k]); err != nil {
-						return res, fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err)
+						return fail(fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err))
 					}
 				}
 			}
@@ -410,7 +496,7 @@ func (sc Scenario) Run() (*Result, error) {
 				break
 			}
 		}
-		for _, lc := range live {
+		for _, lc := range pre {
 			if lc.vc != nil && lc.spec.Workload != nil {
 				lc.spec.Workload.Start(lc.ctx)
 			}
@@ -423,12 +509,34 @@ func (sc Scenario) Run() (*Result, error) {
 
 	t0 := net.Sim.Now()
 	m.Start = t0
+
+	// Churn scheduling: arrivals at t0+ArriveAt, departures HoldFor after a
+	// circuit's traffic opens (for pre-installed circuits that is t0, the
+	// instant every circuit's ctx.Start was pinned to).
+	for _, lc := range scheduled {
+		lc := lc
+		lc.cm.pendingArrival = true
+		net.Sim.ScheduleAt(t0.Add(lc.arriveAt), func() { sc.arrive(eng, lc) })
+	}
+	for _, lc := range pre {
+		if lc.vc == nil || lc.holdFor <= 0 {
+			continue
+		}
+		lc := lc
+		at := lc.ctx.Start.Add(lc.holdFor)
+		if at < t0 {
+			at = t0
+		}
+		net.Sim.ScheduleAt(at, func() { sc.depart(eng, lc) })
+	}
+
 	deadline := t0.Add(sc.Horizon)
 	ctx := sc.Context
-	if len(sc.WaitFor) > 0 {
+	switch {
+	case len(sc.WaitFor) > 0:
 		// Early-stop runs step by step; like the experiment loops it
 		// replaces, the final step may carry the clock past the horizon.
-		for !m.waitSatisfied(sc.WaitFor) && net.Sim.Now() < deadline {
+		for eng.err == nil && !m.waitSatisfied(sc.WaitFor) && net.Sim.Now() < deadline {
 			if ctx != nil && ctx.Err() != nil {
 				break
 			}
@@ -436,17 +544,29 @@ func (sc Scenario) Run() (*Result, error) {
 				break
 			}
 		}
-	} else if ctx == nil {
+	case ctx == nil && len(scheduled) == 0:
 		net.Sim.RunUntil(deadline)
-	} else {
-		for ctx.Err() == nil && net.Sim.StepUntil(deadline) {
+	default:
+		// Stepped run: check for context cancellation and fatal churn
+		// errors between events. Stepping fires the identical event
+		// sequence RunUntil would, so results stay bit-identical.
+		for eng.err == nil && (ctx == nil || ctx.Err() == nil) && net.Sim.StepUntil(deadline) {
 		}
-		if ctx.Err() == nil {
+		if eng.err == nil && (ctx == nil || ctx.Err() == nil) {
 			net.Sim.RunUntil(deadline) // pin the clock to the horizon
 		}
 	}
+	if eng.err != nil {
+		return fail(eng.err)
+	}
 	m.End = net.Sim.Now()
+	sc.finalize(net, m)
+	return res, nil
+}
 
+// finalize stamps the network-wide counters — on successful and failed
+// runs alike.
+func (sc Scenario) finalize(net *Network, m *Metrics) {
 	m.Nodes = len(net.NodeIDs())
 	m.Links = net.LinkCount()
 	m.ClassicalMessages = net.Classical.Stats().MessagesSent
@@ -454,11 +574,81 @@ func (sc Scenario) Run() (*Result, error) {
 	for _, id := range net.NodeIDs() {
 		m.NodeStats[id] = net.Node(id).Stats()
 	}
-	return res, nil
 }
 
-// establish installs one circuit (controller-planned or manual).
-func (sc Scenario) establish(net *Network, lc *liveCircuit) error {
+// arrive is a scheduled circuit's arrival event: plan, admission, and
+// asynchronous installation riding the live event flow. Failures are
+// recorded per-circuit; only non-optional, non-admission failures abort the
+// run.
+func (sc Scenario) arrive(eng *runState, lc *liveCircuit) {
+	net := eng.net
+	lc.cm.ArrivedAt = net.Sim.Now()
+	done := func(vc *Circuit, err error) {
+		lc.cm.pendingArrival = false
+		if err != nil {
+			lc.cm.Err = err.Error()
+			if errors.Is(err, ErrAdmissionRejected) {
+				lc.cm.AdmissionRejected = true
+				eng.m.RejectedAtAdmission++
+				return
+			}
+			if !lc.spec.Optional {
+				eng.fail(fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err))
+			}
+			return
+		}
+		eng.m.Admitted++
+		lc.vc = vc
+		lc.ctx.Circuit = vc
+		lc.cm.Established = true
+		lc.cm.EstablishedAt = net.Sim.Now()
+		lc.cm.Plan = vc.Plan
+		lc.cm.Path = append([]string(nil), vc.Plan.Path...)
+		eng.res.circs[lc.id] = vc
+		sc.attach(lc)
+		if lc.spec.Workload != nil {
+			for _, req := range lc.spec.Workload.Immediate(lc.ctx) {
+				if err := lc.ctx.Submit(req); err != nil {
+					eng.fail(fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err))
+					return
+				}
+			}
+			lc.spec.Workload.Start(lc.ctx)
+		}
+		if lc.holdFor > 0 {
+			net.Sim.Schedule(lc.holdFor, func() { sc.depart(eng, lc) })
+		}
+	}
+	if lc.spec.Plan != nil {
+		net.establishPlanAsync(lc.id, *lc.spec.Plan, true, 0, done)
+		return
+	}
+	opts := &CircuitOptions{
+		Policy:       lc.spec.Policy,
+		ManualCutoff: lc.spec.ManualCutoff,
+		MaxEER:       lc.spec.MaxEER,
+		MinEER:       lc.spec.MinEER,
+	}
+	net.EstablishAsync(lc.id, lc.src, lc.dst, lc.spec.Fidelity, opts, done)
+}
+
+// depart is the single scenario-driven departure path: the workload chain
+// stops, the circuit tears down (idempotently — a duplicate event is a
+// no-op), and the lifetime stamp is recorded.
+func (sc Scenario) depart(eng *runState, lc *liveCircuit) {
+	if lc.vc == nil || lc.cm.TornDownAt != 0 {
+		return
+	}
+	lc.ctx.stopped = true
+	lc.vc.Teardown()
+	lc.cm.TornDownAt = eng.net.Sim.Now()
+}
+
+// establish installs one pre-traffic circuit (controller-planned or
+// manual), stamping its lifetime fields and admission outcome.
+func (sc Scenario) establish(eng *runState, lc *liveCircuit) error {
+	net := eng.net
+	lc.cm.ArrivedAt = net.Sim.Now()
 	var vc *Circuit
 	var err error
 	if lc.spec.Plan != nil {
@@ -468,20 +658,28 @@ func (sc Scenario) establish(net *Network, lc *liveCircuit) error {
 			Policy:       lc.spec.Policy,
 			ManualCutoff: lc.spec.ManualCutoff,
 			MaxEER:       lc.spec.MaxEER,
+			MinEER:       lc.spec.MinEER,
 		}
 		vc, err = net.Establish(lc.id, lc.src, lc.dst, lc.spec.Fidelity, opts)
 	}
 	if err != nil {
 		lc.cm.Err = err.Error()
+		if errors.Is(err, ErrAdmissionRejected) {
+			lc.cm.AdmissionRejected = true
+			eng.m.RejectedAtAdmission++
+			return nil
+		}
 		if lc.spec.Optional {
 			return nil
 		}
 		return fmt.Errorf("qnet: scenario circuit %q: %w", lc.id, err)
 	}
+	eng.m.Admitted++
 	lc.vc = vc
 	lc.ctx.Circuit = vc
 	lc.ctx.Start = net.Sim.Now()
 	lc.cm.Established = true
+	lc.cm.EstablishedAt = net.Sim.Now()
 	lc.cm.Plan = vc.Plan
 	lc.cm.Path = append([]string(nil), vc.Plan.Path...)
 	return nil

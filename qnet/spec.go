@@ -260,6 +260,11 @@ type CircuitWire struct {
 	Policy          CutoffPolicy `json:",omitempty"`
 	ManualCutoff    sim.Duration `json:",omitempty"`
 	MaxEER          float64      `json:",omitempty"`
+	MinEER          float64      `json:",omitempty"`
+	ArriveAt        sim.Duration `json:",omitempty"`
+	HoldFor         sim.Duration `json:",omitempty"`
+	Arrival         *Dist        `json:",omitempty"`
+	Holding         *Dist        `json:",omitempty"`
 	Plan            *Plan        `json:",omitempty"`
 	Workload        *PluginRef   `json:",omitempty"`
 	HeadAutoConsume bool         `json:",omitempty"`
@@ -281,9 +286,18 @@ func (spec CircuitSpec) wire() (CircuitWire, error) {
 	w := CircuitWire{
 		ID: spec.ID, Src: spec.Src, Dst: spec.Dst,
 		Fidelity: spec.Fidelity, Policy: spec.Policy, ManualCutoff: spec.ManualCutoff,
-		MaxEER:          spec.MaxEER,
+		MaxEER: spec.MaxEER, MinEER: spec.MinEER,
+		ArriveAt: spec.ArriveAt, HoldFor: spec.HoldFor,
 		HeadAutoConsume: spec.Head.AutoConsume, TailAutoConsume: spec.Tail.AutoConsume,
 		RecordFidelity: spec.RecordFidelity, Optional: spec.Optional,
+	}
+	if spec.Arrival != nil {
+		d := *spec.Arrival
+		w.Arrival = &d
+	}
+	if spec.Holding != nil {
+		d := *spec.Holding
+		w.Holding = &d
 	}
 	if spec.Plan != nil {
 		p := *spec.Plan
@@ -310,10 +324,19 @@ func (w CircuitWire) spec() (CircuitSpec, error) {
 	spec := CircuitSpec{
 		ID: w.ID, Src: w.Src, Dst: w.Dst,
 		Fidelity: w.Fidelity, Policy: w.Policy, ManualCutoff: w.ManualCutoff,
-		MaxEER:         w.MaxEER,
+		MaxEER: w.MaxEER, MinEER: w.MinEER,
+		ArriveAt: w.ArriveAt, HoldFor: w.HoldFor,
 		Head:           Handlers{AutoConsume: w.HeadAutoConsume},
 		Tail:           Handlers{AutoConsume: w.TailAutoConsume},
 		RecordFidelity: w.RecordFidelity, Optional: w.Optional,
+	}
+	if w.Arrival != nil {
+		d := *w.Arrival
+		spec.Arrival = &d
+	}
+	if w.Holding != nil {
+		d := *w.Holding
+		spec.Holding = &d
 	}
 	if w.Plan != nil {
 		p := *w.Plan

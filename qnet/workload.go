@@ -42,6 +42,15 @@ type WorkloadContext struct {
 	Horizon sim.Duration
 
 	cm *CircuitMetrics
+	// stopped marks a departed (torn-down) circuit: timed workload chains
+	// stop re-arming and any still-in-flight submission becomes a no-op.
+	stopped bool
+}
+
+// open reports whether a timed workload chain should re-arm: the circuit is
+// still up and the scenario horizon has not elapsed.
+func (w *WorkloadContext) open() bool {
+	return !w.stopped && w.Sim.Now().Sub(w.Start) < w.Horizon
 }
 
 // Submit sends a request on the circuit and records it in the scenario
@@ -59,8 +68,14 @@ func (w *WorkloadContext) Submit(req Request) error {
 
 // mustSubmit panics on submission errors — inside timed arrivals there is
 // no caller left to return the error to, and a failed submit (duplicate ID,
-// torn-down circuit) is a scenario bug, not a protocol outcome.
+// torn-down circuit) is a scenario bug, not a protocol outcome. Submissions
+// racing a scenario-driven departure (an arrival event already queued when
+// the circuit tore down) are dropped silently: departure is an outcome, not
+// a bug.
 func (w *WorkloadContext) mustSubmit(req Request) {
+	if w.stopped {
+		return
+	}
 	if err := w.Submit(req); err != nil {
 		panic(fmt.Sprintf("qnet: workload submit on circuit %q: %v", w.Circuit.ID, err))
 	}
@@ -150,7 +165,7 @@ func (w IntervalKeep) Start(ctx *WorkloadContext) {
 	issue = func() {
 		ctx.mustSubmit(Request{ID: prefixed(w.IDPrefix, k), Type: Keep, NumPairs: w.Pairs})
 		k++
-		if ctx.Sim.Now().Sub(ctx.Start) < ctx.Horizon {
+		if ctx.open() {
 			ctx.Sim.Schedule(w.Interval, issue)
 		}
 	}
@@ -181,7 +196,7 @@ func (w PoissonKeep) Start(ctx *WorkloadContext) {
 	issue = func() {
 		ctx.mustSubmit(Request{ID: prefixed(w.IDPrefix, k), Type: Keep, NumPairs: w.Pairs})
 		k++
-		if ctx.Sim.Now().Sub(ctx.Start) < ctx.Horizon {
+		if ctx.open() {
 			ctx.Sim.Schedule(gap(), issue)
 		}
 	}
@@ -210,7 +225,7 @@ func (w OnOffKeep) Start(ctx *WorkloadContext) {
 	var tick func()
 	tick = func() {
 		elapsed := ctx.Sim.Now().Sub(ctx.Start)
-		if elapsed >= ctx.Horizon {
+		if elapsed >= ctx.Horizon || ctx.stopped {
 			return
 		}
 		if pos := elapsed % period; pos < w.On {
