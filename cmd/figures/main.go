@@ -38,7 +38,7 @@ func main() {
 	// exits here, before flag parsing.
 	runner.MaybeWorker()
 
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer, churn, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer, churn, all, or city (not in all: the city-scale streaming-metrics study runs only when asked for)")
 	runs := flag.Int("runs", 0, "independent simulation runs per point (0 = default)")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -140,5 +140,12 @@ func main() {
 	}
 	if want("churn") {
 		run("churn", func() interface{ Print(io.Writer) } { return experiments.Churn(o) })
+	}
+	// The city study is opt-in, not part of "all": it is far larger than
+	// the paper figures (a 225-node grid under thousands of churning
+	// circuits) and exists to exercise streaming metrics at a scale the
+	// full-record mode cannot hold.
+	if *fig == "city" {
+		run("city", func() interface{ Print(io.Writer) } { return experiments.City(o) })
 	}
 }

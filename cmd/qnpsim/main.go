@@ -54,6 +54,7 @@ func main() {
 	cutoff := flag.String("cutoff", "long", "cutoff policy: long, short, none")
 	maxEER := flag.Float64("maxeer", 0, "circuit EER allocation for admission control (0 = off)")
 	nearterm := flag.Bool("nearterm", false, "near-term hardware (25 km telecom links, carbon storage)")
+	streaming := flag.Bool("streaming", false, "constant-memory streaming metrics: per-event records are dropped and summaries come from mergeable aggregates (for runs too large to hold every delivery)")
 	horizon := flag.Float64("horizon", 300, "max simulated seconds")
 	seed := flag.Int64("seed", 1, "random seed")
 	replicas := flag.Int("replicas", 1, "independent replicas (means reported when > 1)")
@@ -76,6 +77,9 @@ func main() {
 		cfg.EnforceEER = true
 	}
 	cfg.StaticAllocation = *staticAlloc
+	if *streaming {
+		cfg.MetricsMode = qnet.MetricsStreaming
+	}
 
 	var topo qnet.TopologySpec
 	nodeCount := *nodes
@@ -294,7 +298,7 @@ func main() {
 		}
 		fmt.Printf("  delivered %d pairs (%.2f/s), mean fidelity %.3f; %d requests, %d rejected, %d expiries; %s\n",
 			cm.Delivered, cm.EER(m.Start, m.End), cm.MeanFidelity(),
-			len(cm.Requests), cm.Rejected, cm.Expired, status)
+			cm.Submitted, cm.Rejected, cm.Expired, status)
 		totalDelivered += cm.Delivered
 		for _, id := range cm.Path[1 : len(cm.Path)-1] {
 			mid[id] = true

@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -173,5 +174,30 @@ func TestStats(t *testing.T) {
 	}
 	if Mean([]float64{2, 4}) != 3 || Percentile([]float64{9, 8, 7}, 0.5) != 8 {
 		t.Error("one-shot helpers wrong")
+	}
+}
+
+// TestPercentileDomainClamp is the regression net for the out-of-domain
+// panic: Percentile(p) with p outside [0, 1] used to index past the sorted
+// slice. NaN and out-of-range p now clamp to the nearest endpoint.
+func TestPercentileDomainClamp(t *testing.T) {
+	var s Stats
+	s.Add(10, 20, 30)
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 30}, // endpoints stay exact
+		{-0.5, 10}, {1.5, 30}, // out-of-domain clamps, no panic
+		{math.Inf(-1), 10}, {math.Inf(1), 30},
+		{math.NaN(), 10}, // NaN clamps low
+	}
+	for _, tc := range cases {
+		if got := s.Percentile(tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{4}, 2); got != 4 {
+		t.Errorf("one-shot Percentile(2) = %v, want 4", got)
 	}
 }

@@ -31,12 +31,18 @@ func (s *Stats) Mean() float64 {
 	return s.sum / float64(len(s.xs))
 }
 
-// Percentile returns the p-quantile (0 ≤ p ≤ 1) by the nearest-rank rule
-// the experiment suite has always used: element ⌊p·(n−1)⌋ of the sorted
-// sample. Returns 0 when empty.
+// Percentile returns the p-quantile by the nearest-rank rule the
+// experiment suite has always used: element ⌊p·(n−1)⌋ of the sorted
+// sample. p is clamped to [0, 1] (NaN clamps to 0) — out-of-domain
+// p used to index out of range and panic. Returns 0 when empty.
 func (s *Stats) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
+	}
+	if !(p > 0) { // also catches NaN
+		p = 0
+	} else if p > 1 {
+		p = 1
 	}
 	xs := s.Sorted()
 	return xs[int(p*float64(len(xs)-1))]

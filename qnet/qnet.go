@@ -158,6 +158,14 @@ type Config struct {
 	// signalling plane); StaticAllocation reproduces the pre-re-fit
 	// behaviour for comparison studies. Only meaningful with EnforceEER.
 	StaticAllocation bool
+	// MetricsMode selects how scenario metrics are recorded. The zero
+	// value, MetricsFull, keeps every per-delivery and per-request record
+	// as before; MetricsStreaming replaces the records with mergeable
+	// constant-memory aggregates so a run's metrics memory is independent
+	// of its delivery count (the city-scale setting). Recording never
+	// feeds back into the simulation: both modes fire the identical event
+	// sequence and produce identical counters.
+	MetricsMode MetricsMode
 }
 
 // LinkKey canonically names the a-b link for Config.LinkLengthM overrides.

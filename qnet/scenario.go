@@ -352,7 +352,7 @@ func (sc Scenario) Run() (*Result, error) {
 	if sc.Setup != nil {
 		sc.Setup(net)
 	}
-	m := &Metrics{Name: sc.Name, byID: make(map[CircuitID]*CircuitMetrics)}
+	m := &Metrics{Name: sc.Name, Mode: cfg.MetricsMode, byID: make(map[CircuitID]*CircuitMetrics)}
 	res := &Result{Metrics: m, Net: net, circs: make(map[CircuitID]*Circuit)}
 	eng := &runState{net: net, m: m, res: res}
 	// fail stamps the window and counts before an error return, so partial
@@ -398,7 +398,7 @@ func (sc Scenario) Run() (*Result, error) {
 			if _, dup := m.byID[id]; dup {
 				return fail(fmt.Errorf("qnet: scenario declares circuit %q twice", id))
 			}
-			cm := &CircuitMetrics{ID: id, Src: p[0], Dst: p[1], reqByID: make(map[RequestID]*RequestMetrics)}
+			cm := newCircuitMetrics(id, p[0], p[1], cfg.MetricsMode)
 			m.Circuits = append(m.Circuits, cm)
 			m.byID[id] = cm
 			lc := &liveCircuit{spec: spec, id: id, src: p[0], dst: p[1], cm: cm}
@@ -515,7 +515,7 @@ func (sc Scenario) Run() (*Result, error) {
 	// instant every circuit's ctx.Start was pinned to).
 	for _, lc := range scheduled {
 		lc := lc
-		lc.cm.pendingArrival = true
+		lc.cm.PendingArrival = true
 		net.Sim.ScheduleAt(t0.Add(lc.arriveAt), func() { sc.arrive(eng, lc) })
 	}
 	for _, lc := range pre {
@@ -584,7 +584,7 @@ func (sc Scenario) arrive(eng *runState, lc *liveCircuit) {
 	net := eng.net
 	lc.cm.ArrivedAt = net.Sim.Now()
 	done := func(vc *Circuit, err error) {
-		lc.cm.pendingArrival = false
+		lc.cm.PendingArrival = false
 		if err != nil {
 			lc.cm.Err = err.Error()
 			if errors.Is(err, ErrAdmissionRejected) {
@@ -707,40 +707,23 @@ func (lc *liveCircuit) headHandlers() Handlers {
 	h := Handlers{
 		AutoConsume: user.AutoConsume || user.OnPair == nil,
 		OnPair: func(d Delivered) {
-			cm.Delivered++
-			cm.DeliveryTimes = append(cm.DeliveryTimes, d.At)
-			if record {
-				f := 0.0
-				if d.Pair != nil {
-					f = d.Pair.FidelityWith(d.At, d.State)
-				}
-				cm.Fidelities = append(cm.Fidelities, f)
-				cm.States = append(cm.States, d.State)
+			f := 0.0
+			if record && d.Pair != nil {
+				f = d.Pair.FidelityWith(d.At, d.State)
 			}
+			cm.noteDelivery(d.At, record, f, d.State)
 			if user.OnPair != nil {
 				user.OnPair(d)
 			}
 		},
 		OnComplete: func(id RequestID) {
-			if rm := cm.request(id); rm != nil && !rm.Done {
-				rm.Done = true
-				rm.CompletedAt = lc.ctx.Sim.Now()
-				if rm.Pairs > 0 {
-					cm.pendingFinite--
-				}
-			}
+			cm.noteComplete(id, lc.ctx.Sim.Now())
 			if user.OnComplete != nil {
 				user.OnComplete(id)
 			}
 		},
 		OnReject: func(req Request, reason string) {
-			cm.Rejected++
-			if rm := cm.request(req.ID); rm != nil && !rm.Rejected {
-				rm.Rejected = true
-				if rm.Pairs > 0 && !rm.Done {
-					cm.pendingFinite--
-				}
-			}
+			cm.noteReject(req.ID)
 			if user.OnReject != nil {
 				user.OnReject(req, reason)
 			}

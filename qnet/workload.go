@@ -57,12 +57,7 @@ func (w *WorkloadContext) open() bool {
 // metrics (submission time, completion, rejection). The request's Circuit
 // field is filled in automatically.
 func (w *WorkloadContext) Submit(req Request) error {
-	rm := &RequestMetrics{ID: req.ID, SubmittedAt: w.Sim.Now(), Pairs: req.NumPairs}
-	w.cm.Requests = append(w.cm.Requests, rm)
-	w.cm.reqByID[req.ID] = rm
-	if req.NumPairs > 0 {
-		w.cm.pendingFinite++
-	}
+	w.cm.noteSubmit(&RequestMetrics{ID: req.ID, SubmittedAt: w.Sim.Now(), Pairs: req.NumPairs})
 	return w.Circuit.Submit(req)
 }
 
