@@ -4,12 +4,15 @@
 // binary, so the gate that fails a pull request is exactly reproducible
 // locally:
 //
-//	go test -run='^$' -bench='Fig|Topology' -benchtime=2x -benchmem . |
+//	go test -run='^$' -bench='Fig|Topology|SwapHeavy' -benchtime=2x -benchmem . |
 //	    go run ./cmd/benchdiff -parse -sha $(git rev-parse --short HEAD) -out BENCH_new.json
 //	go run ./cmd/benchdiff -compare BENCH_baseline.json BENCH_new.json
 //
 // Compare exits non-zero when ns/op or allocs/op regress by more than the
 // threshold (default 15%) on any benchmark present in both files.
+// Benchmarks present only in the new file are listed as "new (no
+// baseline)" without failing the gate; benchmarks that vanished from
+// the new file fail it.
 package main
 
 import (
@@ -189,6 +192,22 @@ func runCompare(oldPath, newPath string, threshold float64) (bool, error) {
 			fmt.Printf("FAIL  %-32s missing from %s\n", name, newPath)
 			ok = false
 		}
+	}
+	// Benchmarks present only in the new run are reported, not gated:
+	// freshly added benches have no baseline to regress against, but
+	// listing them keeps the reviewer's cue to check one in visible —
+	// silently ignoring them is how baselines go stale.
+	var fresh []string
+	for name := range newF.Benchmarks {
+		if _, present := oldF.Benchmarks[name]; !present {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		n := newF.Benchmarks[name]
+		fmt.Printf("new   %-32s ns/op %14.0f                             allocs/op %10.0f   (no baseline in %s)\n",
+			name, n.NsOp, n.AllocsOp, oldPath)
 	}
 	sort.Strings(names)
 	if len(names) == 0 {

@@ -31,6 +31,7 @@ import (
 
 	"qnp/internal/experiments"
 	"qnp/internal/runner"
+	"qnp/qnet"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "replica worker pool size (0 = NumCPU)")
 	shards := flag.Int("shards", 0, "worker processes to shard replica grids across (0 = in-process; 11 and tables have no grid and always run in-process)")
 	progress := flag.Bool("progress", false, "print replica progress to stderr")
+	physics := flag.String("physics", "exact", "pair-state engine for the validation figures (9, eer, churn, city): exact or werner; the other figures always run exact")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -56,6 +58,15 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	switch *physics {
+	case "exact":
+		o.Physics = qnet.PhysicsExact
+	case "werner":
+		o.Physics = qnet.PhysicsWerner
+	default:
+		fmt.Fprintf(os.Stderr, "unknown physics engine %q (want exact or werner)\n", *physics)
+		os.Exit(2)
+	}
 	if *shards > 0 {
 		o.Backend = runner.Subprocess{Shards: *shards}
 		// Fig. 11 is a single staircase run and the tables are closed-form:
@@ -146,6 +157,32 @@ func main() {
 	// circuits) and exists to exercise streaming metrics at a scale the
 	// full-record mode cannot hold.
 	if *fig == "city" {
-		run("city", func() interface{ Print(io.Writer) } { return experiments.City(o) })
+		if o.Physics == qnet.PhysicsWerner {
+			// The Werner city variant regenerates the study under both
+			// engines — exact first, its output discarded — so stderr can
+			// report the two wall times side by side. Stdout carries the
+			// Werner run's (byte-identical) table, keeping the
+			// sharded-equivalence diff meaningful.
+			if ctx.Err() != nil {
+				fmt.Fprintf(w, "[city skipped: interrupted]\n")
+				return
+			}
+			exactO := o
+			exactO.Physics = qnet.PhysicsExact
+			t0 := time.Now()
+			experiments.City(exactO)
+			exactS := time.Since(t0).Seconds()
+			t1 := time.Now()
+			d := experiments.City(o)
+			wernerS := time.Since(t1).Seconds()
+			if ctx.Err() != nil {
+				fmt.Fprintf(w, "[city interrupted: partial results discarded]\n")
+				return
+			}
+			d.Print(w)
+			fmt.Fprintf(os.Stderr, "[city regenerated: exact %.1fs, werner %.1fs]\n", exactS, wernerS)
+		} else {
+			run("city", func() interface{ Print(io.Writer) } { return experiments.City(o) })
+		}
 	}
 }

@@ -54,6 +54,7 @@ func main() {
 	cutoff := flag.String("cutoff", "long", "cutoff policy: long, short, none")
 	maxEER := flag.Float64("maxeer", 0, "circuit EER allocation for admission control (0 = off)")
 	nearterm := flag.Bool("nearterm", false, "near-term hardware (25 km telecom links, carbon storage)")
+	physics := flag.String("physics", "exact", "pair-state engine: exact (density matrices) or werner (scalar Werner-parameter fast path)")
 	streaming := flag.Bool("streaming", false, "constant-memory streaming metrics: per-event records are dropped and summaries come from mergeable aggregates (for runs too large to hold every delivery)")
 	horizon := flag.Float64("horizon", 300, "max simulated seconds")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -79,6 +80,14 @@ func main() {
 	cfg.StaticAllocation = *staticAlloc
 	if *streaming {
 		cfg.MetricsMode = qnet.MetricsStreaming
+	}
+	switch *physics {
+	case "exact":
+		cfg.Physics = qnet.PhysicsExact
+	case "werner":
+		cfg.Physics = qnet.PhysicsWerner
+	default:
+		die("unknown physics engine %q (want exact or werner)", *physics)
 	}
 
 	var topo qnet.TopologySpec

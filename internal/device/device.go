@@ -9,18 +9,44 @@ import (
 	"qnp/internal/linalg"
 	"qnp/internal/quantum"
 	"qnp/internal/sim"
+	"qnp/internal/werner"
 )
+
+// Physics selects the pair-state engine a device (and the pairs it creates)
+// runs on.
+type Physics int
+
+// The two physics engines.
+const (
+	// PhysicsExact tracks every pair as a 4×4 density matrix through the
+	// exact channel models in internal/quantum. The default.
+	PhysicsExact Physics = iota
+	// PhysicsWerner tracks a single Werner parameter per pair using the
+	// closed forms in internal/werner — O(1) per operation instead of
+	// O(d²) matrix algebra, at the cost of re-twirling the state to Werner
+	// form after each step. RNG draw order matches the exact engine, so
+	// the event timeline is identical under both settings.
+	PhysicsWerner
+)
+
+func (p Physics) String() string {
+	if p == PhysicsWerner {
+		return "werner"
+	}
+	return "exact"
+}
 
 // Device is one node's quantum hardware: its qubit memory (managed QMM-style
 // with alloc/free), its serial operation timeline (the quantum task
 // scheduler of Fig. 4 — current platforms execute one local quantum
 // operation at a time), and the hardware parameter set.
 type Device struct {
-	id     string
-	params hardware.Params
-	sim    *sim.Simulation
-	rng    *rand.Rand
-	qubits []*Qubit
+	id      string
+	params  hardware.Params
+	physics Physics
+	sim     *sim.Simulation
+	rng     *rand.Rand
+	qubits  []*Qubit
 	// busyUntil is the quantum task scheduler's horizon: local operations
 	// submitted while another runs queue behind it.
 	busyUntil sim.Time
@@ -34,16 +60,26 @@ type Device struct {
 	ws *linalg.Workspace
 }
 
-// New creates a device for node id with the given hardware parameters.
+// New creates a device for node id with the given hardware parameters,
+// running the exact density-matrix engine.
 func New(s *sim.Simulation, id string, params hardware.Params) *Device {
+	return NewWithPhysics(s, id, params, PhysicsExact)
+}
+
+// NewWithPhysics creates a device running the given pair-state engine.
+func NewWithPhysics(s *sim.Simulation, id string, params hardware.Params, ph Physics) *Device {
 	return &Device{
-		id:     id,
-		params: params,
-		sim:    s,
-		rng:    s.Rand(),
-		ws:     linalg.NewWorkspace(),
+		id:      id,
+		params:  params,
+		physics: ph,
+		sim:     s,
+		rng:     s.Rand(),
+		ws:      linalg.NewWorkspace(),
 	}
 }
+
+// Physics returns the pair-state engine this device runs on.
+func (d *Device) Physics() Physics { return d.physics }
 
 // Workspace exposes the device's matrix pool so co-located layers (the link
 // layer materialising fresh pair states) can share it.
@@ -224,31 +260,48 @@ func (d *Device) Swap(q1, q2 *Qubit, done func(merged *Pair, outcome quantum.Bel
 		}
 		p1.AdvanceTo(now)
 		p2.AdvanceTo(now)
-		// Orient so the swap circuit sees (remote1, local1) ⊗ (local2,
-		// remote2). Exchanging the qubits of a Bell-diagnosable state keeps
-		// its Bell index (|Ψ−> only changes global phase).
-		rho1 := p1.rho
-		if s1 == 0 {
-			rho1 = quantum.ApplyGate2W(d.ws, rho1, quantum.SWAP, 0, 2)
+		if p1.scalar != p2.scalar {
+			panic(fmt.Sprintf("device %s: swap across physics engines", d.id))
 		}
-		rho2 := p2.rho
-		if s2 == 1 {
-			rho2 = quantum.ApplyGate2W(d.ws, rho2, quantum.SWAP, 0, 2)
+		var (
+			mergedRho *linalg.Matrix
+			mergedW   float64
+			outcome   quantum.BellIndex
+		)
+		if p1.scalar {
+			// Werner states are symmetric under qubit exchange, so no
+			// orientation is needed; the closed form consumes the same four
+			// RNG draws as the exact Bell measurement below.
+			sres := werner.Swap(p1.w, p2.w, d.params.SwapConfig(), d.rng)
+			mergedW, outcome = sres.W, sres.Outcome
+		} else {
+			// Orient so the swap circuit sees (remote1, local1) ⊗ (local2,
+			// remote2). Exchanging the qubits of a Bell-diagnosable state keeps
+			// its Bell index (|Ψ−> only changes global phase).
+			rho1 := p1.rho
+			if s1 == 0 {
+				rho1 = quantum.ApplyGate2W(d.ws, rho1, quantum.SWAP, 0, 2)
+			}
+			rho2 := p2.rho
+			if s2 == 1 {
+				rho2 = quantum.ApplyGate2W(d.ws, rho2, quantum.SWAP, 0, 2)
+			}
+			res := quantum.SwapW(d.ws, rho1, rho2, d.params.SwapConfig(), d.rng)
+			if rho1 != p1.rho {
+				d.ws.Put(rho1)
+			}
+			if rho2 != p2.rho {
+				d.ws.Put(rho2)
+			}
+			// The Bell measurement consumed both input pairs: recycle their
+			// states and nil the fields so a stale read fails fast instead of
+			// observing a recycled buffer.
+			d.ws.Put(p1.rho)
+			p1.rho = nil
+			d.ws.Put(p2.rho)
+			p2.rho = nil
+			mergedRho, outcome = res.Rho, res.Outcome
 		}
-		res := quantum.SwapW(d.ws, rho1, rho2, d.params.SwapConfig(), d.rng)
-		if rho1 != p1.rho {
-			d.ws.Put(rho1)
-		}
-		if rho2 != p2.rho {
-			d.ws.Put(rho2)
-		}
-		// The Bell measurement consumed both input pairs: recycle their
-		// states and nil the fields so a stale read fails fast instead of
-		// observing a recycled buffer.
-		d.ws.Put(p1.rho)
-		p1.rho = nil
-		d.ws.Put(p2.rho)
-		p2.rho = nil
 
 		remote1 := p1.halves[1-s1]
 		remote2 := p2.halves[1-s2]
@@ -257,9 +310,11 @@ func (d *Device) Swap(q1, q2 *Qubit, done func(merged *Pair, outcome quantum.Bel
 			created = p2.createdAt
 		}
 		merged := &Pair{
-			rho:        res.Rho,
+			rho:        mergedRho,
+			scalar:     p1.scalar,
+			w:          mergedW,
 			ws:         d.ws,
-			trueIdx:    quantum.Combine(p1.trueIdx, p2.trueIdx, res.Outcome),
+			trueIdx:    quantum.Combine(p1.trueIdx, p2.trueIdx, outcome),
 			createdAt:  created,
 			lastUpdate: now,
 		}
@@ -276,7 +331,7 @@ func (d *Device) Swap(q1, q2 *Qubit, done func(merged *Pair, outcome quantum.Bel
 		// Free this node's qubits: the Bell measurement consumed them.
 		p1.releaseHalf(s1)
 		p2.releaseHalf(s2)
-		done(merged, res.Outcome)
+		done(merged, outcome)
 	})
 }
 
@@ -335,9 +390,21 @@ func (d *Device) MeasureHalf(q *Qubit, basis quantum.Basis, done func(bit int)) 
 			panic(fmt.Sprintf("device %s: measured half vanished mid-flight", d.id))
 		}
 		p.AdvanceTo(now)
-		bit, post := quantum.MeasureInBasisW(d.ws, p.rho, s, 2, basis, d.params.Gates.Readout, d.rng)
-		d.ws.Put(p.rho)
-		p.rho = post
+		var bit int
+		if p.scalar {
+			// The Werner marginal is I/2 in every basis: the scalar engine
+			// draws the same truth coin and readout flip as the exact
+			// measurement. The surviving half keeps the maximally mixed
+			// conditional state (w = 0) — the Werner twirl of the collapsed
+			// remote qubit.
+			bit = werner.Measure(d.params.Gates.Readout, d.rng)
+			p.w = 0
+		} else {
+			var post *linalg.Matrix
+			bit, post = quantum.MeasureInBasisW(d.ws, p.rho, s, 2, basis, d.params.Gates.Readout, d.rng)
+			d.ws.Put(p.rho)
+			p.rho = post
+		}
 		p.consumed[s] = true
 		p.releaseHalf(s)
 		done(bit)

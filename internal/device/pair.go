@@ -4,9 +4,10 @@
 // quantum task scheduler that serialises local quantum operations
 // (entanglement swaps, moves to storage, measurements) on the device.
 //
-// The package also owns Pair, the live representation of an entangled pair:
-// an exact two-qubit density matrix shared between two nodes, with lazy
-// decoherence — the state is advanced under each side's T1/T2 only when an
+// The package also owns Pair, the live representation of an entangled pair
+// shared between two nodes — an exact two-qubit density matrix, or a single
+// Werner parameter under the scalar fast-path engine (Physics) — with lazy
+// decoherence: the state is advanced under each side's T1/T2 only when an
 // operation touches it, so idle qubits cost nothing to simulate.
 package device
 
@@ -16,6 +17,7 @@ import (
 	"qnp/internal/linalg"
 	"qnp/internal/quantum"
 	"qnp/internal/sim"
+	"qnp/internal/werner"
 )
 
 // Kind classifies qubits the way the paper does: communication qubits can
@@ -73,9 +75,14 @@ func (q *Qubit) Pair() *Pair { return q.pair }
 // Free reports whether the qubit is unallocated.
 func (q *Qubit) Free() bool { return q.free }
 
-// Pair is a (possibly multi-hop) entangled pair: an exact 4×4 density matrix
-// whose two qubits live at two different nodes. The left qubit is index 0 of
-// the state, the right qubit index 1.
+// Pair is a (possibly multi-hop) entangled pair whose two qubits live at two
+// different nodes. The left qubit is index 0 of the state, the right qubit
+// index 1. Its state lives in one of two representations, chosen by the
+// owning device's Physics setting: an exact 4×4 density matrix (rho), or a
+// single Werner parameter (w) under the scalar fast-path engine
+// (internal/werner). Every operation below branches on the representation;
+// both consume identical RNG streams, so the event timeline is engine-
+// independent.
 type Pair struct {
 	rho *linalg.Matrix
 	// ws recycles the pair's density matrices: every operation that replaces
@@ -91,22 +98,39 @@ type Pair struct {
 	// consumed marks halves that no longer carry live state (measured) so
 	// decoherence stops being applied to them.
 	consumed [2]bool
+	// scalar selects the Werner fast-path representation: the state is
+	// w·|B_trueIdx><B_trueIdx| + (1−w)·I/4 and rho stays nil.
+	scalar bool
+	w      float64
 }
 
 // NewPair wires a fresh pair between two allocated qubits. The qubits must
 // belong to different devices and be allocated (not free).
 func NewPair(now sim.Time, rho *linalg.Matrix, idx quantum.BellIndex, left, right *Qubit) *Pair {
+	p := &Pair{rho: rho, ws: left.dev.ws}
+	wirePair(p, now, idx, left, right)
+	return p
+}
+
+// NewScalarPair wires a fresh Werner fast-path pair with parameter w
+// relative to Bell index idx.
+func NewScalarPair(now sim.Time, w float64, idx quantum.BellIndex, left, right *Qubit) *Pair {
+	p := &Pair{scalar: true, w: w, ws: left.dev.ws}
+	wirePair(p, now, idx, left, right)
+	return p
+}
+
+func wirePair(p *Pair, now sim.Time, idx quantum.BellIndex, left, right *Qubit) {
 	if left.dev == right.dev {
 		panic("device: pair halves on the same node")
 	}
 	if left.free || right.free {
 		panic("device: pair over free qubits")
 	}
-	p := &Pair{rho: rho, ws: left.dev.ws, trueIdx: idx, createdAt: now, lastUpdate: now}
+	p.trueIdx, p.createdAt, p.lastUpdate = idx, now, now
 	p.halves[0], p.halves[1] = left, right
 	left.pair, left.side = p, 0
 	right.pair, right.side = p, 1
-	return p
 }
 
 // CreatedAt returns the generation time of the oldest constituent link-pair.
@@ -153,18 +177,36 @@ func (p *Pair) AdvanceTo(now sim.Time) {
 	}
 	dt := now.Sub(p.lastUpdate).Seconds()
 	if dt > 0 {
-		for s, q := range p.halves {
-			if q == nil || p.consumed[s] {
-				continue
-			}
-			next := quantum.DecohereW(p.ws, p.rho, s, 2, dt, q.lifetimes.T1, q.lifetimes.T2)
-			if next != p.rho {
-				p.ws.Put(p.rho)
-				p.rho = next
+		if p.scalar {
+			p.w = p.decoheredW(dt)
+		} else {
+			for s, q := range p.halves {
+				if q == nil || p.consumed[s] {
+					continue
+				}
+				next := quantum.DecohereW(p.ws, p.rho, s, 2, dt, q.lifetimes.T1, q.lifetimes.T2)
+				if next != p.rho {
+					p.ws.Put(p.rho)
+					p.rho = next
+				}
 			}
 		}
 	}
 	p.lastUpdate = now
+}
+
+// decoheredW returns the Werner parameter after dt seconds of idling: one
+// joint two-sided closed-form step (exactly the composition of the per-side
+// exact channels), with dead sides contributing no decay.
+func (p *Pair) decoheredW(dt float64) float64 {
+	var g, pf [2]float64
+	for s, q := range p.halves {
+		if q == nil || p.consumed[s] {
+			continue
+		}
+		g[s], pf[s] = quantum.DecoherenceProbabilities(dt, q.lifetimes.T1, q.lifetimes.T2)
+	}
+	return werner.Decohere(p.w, p.trueIdx.XBit() == 0, g[0], pf[0], g[1], pf[1])
 }
 
 // StateAt returns a copy of the pair state as it would be at time t, without
@@ -176,8 +218,25 @@ func (p *Pair) StateAt(t sim.Time) *linalg.Matrix {
 }
 
 // stateAtW computes the state at time t into a ws matrix the caller must
-// Put back (or keep). It performs the same arithmetic as StateAt.
+// Put back (or keep). It performs the same arithmetic as StateAt. A scalar
+// pair materialises its Werner state w·|B><B| + (1−w)·I/4.
 func (p *Pair) stateAtW(t sim.Time) *linalg.Matrix {
+	if p.scalar {
+		w := p.w
+		if dt := t.Sub(p.lastUpdate).Seconds(); dt > 0 {
+			w = p.decoheredW(dt)
+		}
+		rho := p.ws.GetRaw(4, 4)
+		proj := quantum.BellProjectorCached(p.trueIdx)
+		mixed := complex((1-w)/4, 0)
+		for i, pv := range proj.Data {
+			rho.Data[i] = complex(w, 0) * pv
+			if i%5 == 0 { // diagonal of the 4×4 identity
+				rho.Data[i] += mixed
+			}
+		}
+		return rho
+	}
 	rho := p.ws.GetRaw(p.rho.Rows, p.rho.Cols)
 	copy(rho.Data, p.rho.Data)
 	dt := t.Sub(p.lastUpdate).Seconds()
@@ -205,6 +264,16 @@ func (p *Pair) FidelityAt(t sim.Time) float64 {
 // Bell index — what an application would actually see given the protocol's
 // (possibly wrong) tracking information.
 func (p *Pair) FidelityWith(t sim.Time, idx quantum.BellIndex) float64 {
+	if p.scalar {
+		w := p.w
+		if dt := t.Sub(p.lastUpdate).Seconds(); dt > 0 {
+			w = p.decoheredW(dt)
+		}
+		if idx == p.trueIdx {
+			return werner.Fidelity(w)
+		}
+		return werner.CrossFidelity(w)
+	}
 	rho := p.stateAtW(t)
 	f := quantum.Fidelity(rho, idx)
 	p.ws.Put(rho)
@@ -215,6 +284,10 @@ func (p *Pair) FidelityWith(t sim.Time, idx quantum.BellIndex) float64 {
 // to one side's qubit, in place. The channel comes pre-lifted from the
 // global cache (prob is fixed per device).
 func (p *Pair) applyDepol1(side int, prob float64) {
+	if p.scalar {
+		p.w = werner.Depolarize1(p.w, prob)
+		return
+	}
 	next := quantum.ApplyDepolarizing1W(p.ws, p.rho, prob, side, 2)
 	p.ws.Put(p.rho)
 	p.rho = next
@@ -223,6 +296,10 @@ func (p *Pair) applyDepol1(side int, prob float64) {
 // applyPhaseFlip applies dephasing with probability prob to one side's
 // qubit, in place.
 func (p *Pair) applyPhaseFlip(side int, prob float64) {
+	if p.scalar {
+		p.w = werner.PhaseFlip(p.w, prob)
+		return
+	}
 	next := quantum.ApplyPhaseFlipW(p.ws, p.rho, prob, side, 2)
 	p.ws.Put(p.rho)
 	p.rho = next
@@ -230,17 +307,20 @@ func (p *Pair) applyPhaseFlip(side int, prob float64) {
 
 // ApplyPauli applies a Pauli correction to one side (used by the head-end's
 // final-state correction). The declared index transformation is the
-// caller's business; the true index flips accordingly.
+// caller's business; the true index flips accordingly. On a scalar pair the
+// correction is a pure Bell-frame relabelling: w is untouched.
 func (p *Pair) ApplyPauli(side int, x, z uint8) {
-	if x == 1 {
-		next := quantum.ApplyGate1W(p.ws, p.rho, quantum.X, side, 2)
-		p.ws.Put(p.rho)
-		p.rho = next
-	}
-	if z == 1 {
-		next := quantum.ApplyGate1W(p.ws, p.rho, quantum.Z, side, 2)
-		p.ws.Put(p.rho)
-		p.rho = next
+	if !p.scalar {
+		if x == 1 {
+			next := quantum.ApplyGate1W(p.ws, p.rho, quantum.X, side, 2)
+			p.ws.Put(p.rho)
+			p.rho = next
+		}
+		if z == 1 {
+			next := quantum.ApplyGate1W(p.ws, p.rho, quantum.Z, side, 2)
+			p.ws.Put(p.rho)
+			p.rho = next
+		}
 	}
 	p.trueIdx ^= quantum.BellIndex(x) | quantum.BellIndex(z)<<1
 }
@@ -256,4 +336,12 @@ func (p *Pair) releaseHalf(side int) {
 }
 
 // Rho exposes the current density matrix for inspection (tests, examples).
+// Scalar pairs hold no matrix and return nil; use StateAt to materialise
+// their Werner state.
 func (p *Pair) Rho() *linalg.Matrix { return p.rho }
+
+// Scalar reports whether the pair uses the Werner fast-path representation.
+func (p *Pair) Scalar() bool { return p.scalar }
+
+// W returns the scalar pair's Werner parameter as of its last update.
+func (p *Pair) W() float64 { return p.w }

@@ -69,10 +69,11 @@ func churnDemand() float64 { return 0.4 * eerAllocation() }
 // process conditioned on the arrival count has i.i.d. uniform arrival
 // times) and exponential holding, each demanding churnDemand() pairs/s,
 // admission-controlled with either re-fit or static allocation.
-func churnScenario(topo string, hold sim.Duration, static bool, p churnParams, demand float64) qnet.Scenario {
+func churnScenario(topo string, hold sim.Duration, static bool, physics qnet.Physics, p churnParams, demand float64) qnet.Scenario {
 	cfg := qnet.DefaultConfig()
 	cfg.EnforceEER = true
 	cfg.StaticAllocation = static
+	cfg.Physics = physics
 	var ts qnet.TopologySpec
 	if topo == "grid" {
 		ts = qnet.GridTopo(3, 3)
@@ -120,7 +121,7 @@ func churnGrid(o Options, p churnParams) (grid, []churnJob, int, float64) {
 		}
 	}
 	g := grid{n: len(jobs), run: func(i int, seed int64) any {
-		return churnRun(seed, jobs[i], p, demand)
+		return churnRun(seed, o.Physics, jobs[i], p, demand)
 	}}
 	return g, jobs, runs, demand
 }
@@ -137,8 +138,8 @@ func init() {
 }
 
 // churnRun measures one churn replica.
-func churnRun(seed int64, j churnJob, p churnParams, demand float64) churnResult {
-	sc := churnScenario(j.topo, j.hold, j.static, p, demand)
+func churnRun(seed int64, physics qnet.Physics, j churnJob, p churnParams, demand float64) churnResult {
+	sc := churnScenario(j.topo, j.hold, j.static, physics, p, demand)
 	sc.Config.Seed = seed
 	res, err := sc.Run()
 	if err != nil {

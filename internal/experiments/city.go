@@ -73,10 +73,11 @@ type cityResult struct {
 // carrying Poisson single-pair requests. MetricsStreaming keeps the
 // metrics memory independent of the delivery count — the point of the
 // scenario.
-func cityScenario(hold sim.Duration, p cityParams, demand float64) qnet.Scenario {
+func cityScenario(hold sim.Duration, physics qnet.Physics, p cityParams, demand float64) qnet.Scenario {
 	cfg := qnet.DefaultConfig()
 	cfg.EnforceEER = true
 	cfg.MetricsMode = qnet.MetricsStreaming
+	cfg.Physics = physics
 	return qnet.Scenario{
 		Name:     "city",
 		Config:   cfg,
@@ -114,7 +115,7 @@ func cityGrid(o Options, p cityParams) (grid, []cityJob, int, float64) {
 		}
 	}
 	g := grid{n: len(jobs), run: func(i int, seed int64) any {
-		return cityRun(seed, jobs[i], p, demand)
+		return cityRun(seed, o.Physics, jobs[i], p, demand)
 	}}
 	return g, jobs, runs, demand
 }
@@ -131,8 +132,8 @@ func init() {
 }
 
 // cityRun measures one city replica.
-func cityRun(seed int64, j cityJob, p cityParams, demand float64) cityResult {
-	sc := cityScenario(j.hold, p, demand)
+func cityRun(seed int64, physics qnet.Physics, j cityJob, p cityParams, demand float64) cityResult {
+	sc := cityScenario(j.hold, physics, p, demand)
 	sc.Config.Seed = seed
 	res, err := sc.Run()
 	if err != nil {

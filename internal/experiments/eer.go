@@ -95,7 +95,7 @@ func eerGrid(o Options, p eerParams) (grid, []eerJob, int, float64) {
 		jobs = append(jobs, eerJob{requests: 1, oversized: true})
 	}
 	g := grid{n: len(jobs), run: func(i int, seed int64) any {
-		return eerRun(seed, jobs[i], alloc, p.Horizon)
+		return eerRun(seed, o.Physics, jobs[i], alloc, p.Horizon)
 	}}
 	return g, jobs, runs, alloc
 }
@@ -112,9 +112,10 @@ func init() {
 }
 
 // eerRun measures one policed-circuit replica.
-func eerRun(seed int64, j eerJob, alloc float64, horizon sim.Duration) eerResult {
+func eerRun(seed int64, physics qnet.Physics, j eerJob, alloc float64, horizon sim.Duration) eerResult {
 	cfg := qnet.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Physics = physics
 	cfg.EnforceEER = true
 	reqs := make([]qnet.Request, j.requests)
 	for i := range reqs {

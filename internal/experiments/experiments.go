@@ -18,6 +18,7 @@ import (
 
 	"qnp/internal/runner"
 	"qnp/internal/sim"
+	"qnp/qnet"
 )
 
 // Options control experiment size. Runs is the number of independent
@@ -47,6 +48,11 @@ type Options struct {
 	// backend-independent, so figure output is bit-identical for any
 	// backend and shard count.
 	Backend runner.Backend
+	// Physics selects the pair-state engine for the figures that support
+	// it (fig9, eer, churn, city — the cross-engine validation set). The
+	// other figures always run exact: they measure fidelity-sensitive
+	// quantities the Werner approximation is not meant to reproduce.
+	Physics qnet.Physics
 }
 
 // DefaultOptions is the standard reproduction size.
@@ -77,12 +83,15 @@ type grid struct {
 // a grid. Workers, Progress, Context and Backend stay parent-side: they
 // steer execution, never results.
 type wireOptions struct {
-	Runs  int
-	Seed  int64
-	Quick bool
+	Runs    int
+	Seed    int64
+	Quick   bool
+	Physics qnet.Physics `json:",omitempty"`
 }
 
-func (w wireOptions) options() Options { return Options{Runs: w.Runs, Seed: w.Seed, Quick: w.Quick} }
+func (w wireOptions) options() Options {
+	return Options{Runs: w.Runs, Seed: w.Seed, Quick: w.Quick, Physics: w.Physics}
+}
 
 // gridJob is the wire form of "one replica of figure Fig's grid".
 type gridJob struct {
@@ -177,7 +186,7 @@ func gridMap[T any](o Options, fig string, params any, g grid) []T {
 		})
 		return out
 	}
-	job := gridJob{Fig: fig, Opts: wireOptions{Runs: o.Runs, Seed: o.Seed, Quick: o.Quick}}
+	job := gridJob{Fig: fig, Opts: wireOptions{Runs: o.Runs, Seed: o.Seed, Quick: o.Quick, Physics: o.Physics}}
 	if params != nil {
 		raw, err := json.Marshal(params)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"qnp/internal/runner"
 	"qnp/internal/sim"
+	"qnp/qnet"
 )
 
 // The quick variants of every figure must run and produce physically
@@ -99,8 +100,8 @@ func TestFig9Quick(t *testing.T) {
 	if testing.Short() {
 		// One load point, empty versus congested: congestion must cost
 		// latency.
-		empty := fig9Run(runner.DeriveSeed(1, 0), false, 0.3, 10*sim.Second, 6*sim.Second)
-		congested := fig9Run(runner.DeriveSeed(1, 0), true, 0.3, 10*sim.Second, 6*sim.Second)
+		empty := fig9Run(runner.DeriveSeed(1, 0), qnet.PhysicsExact, false, 0.3, 10*sim.Second, 6*sim.Second)
+		congested := fig9Run(runner.DeriveSeed(1, 0), qnet.PhysicsExact, true, 0.3, 10*sim.Second, 6*sim.Second)
 		if congested.LatencyS <= empty.LatencyS {
 			t.Errorf("congested latency %.3f not above empty %.3f", congested.LatencyS, empty.LatencyS)
 		}

@@ -55,7 +55,7 @@ func fig9Grid(o Options) (grid, []fig9Job, int) {
 	}
 	g := grid{n: len(jobs), run: func(i int, seed int64) any {
 		j := jobs[i]
-		return fig9Run(seed, j.congested, j.interval, horizon, measureFrom)
+		return fig9Run(seed, o.Physics, j.congested, j.interval, horizon, measureFrom)
 	}}
 	return g, jobs, runs
 }
@@ -92,9 +92,10 @@ func Fig9(o Options) *Fig9Data {
 	return d
 }
 
-func fig9Run(seed int64, congested bool, intervalS float64, horizon, measureFrom sim.Duration) Fig9Point {
+func fig9Run(seed int64, physics qnet.Physics, congested bool, intervalS float64, horizon, measureFrom sim.Duration) Fig9Point {
 	cfg := qnet.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Physics = physics
 	// A1-B1 idles or carries an open-ended background request; A0-B0 sees a
 	// 3-pair request every interval. Background traffic, being an immediate
 	// workload, opens before the timed arrival chain — the paper's setup.

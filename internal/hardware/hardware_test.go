@@ -197,6 +197,51 @@ func TestPairStateMatchesModel(t *testing.T) {
 	}
 }
 
+// TestPairModelFidelityMatchesStateW pins the consistency of the two
+// independently computed sides of the pair model — the closed-form
+// PairModel.Fidelity() and the Bell-diagonal element ⟨B_idx|ρ|B_idx⟩ of
+// the materialised StateW output — across the parameter grid, including
+// operating points where the dark-count herald fraction is significant
+// (long telecom links at small α push WDark well above zero). The Werner
+// engine seeds its scalar from Fidelity() while the exact engine carries
+// StateW, so a divergence here would silently skew every cross-engine
+// comparison.
+func TestPairModelFidelityMatchesStateW(t *testing.T) {
+	ws := linalg.NewWorkspace()
+	sawDark := false
+	for _, hw := range []struct {
+		name   string
+		params Params
+	}{{"simulation", Simulation()}, {"nearterm", NearTerm()}} {
+		for _, lc := range []struct {
+			name string
+			link LinkConfig
+		}{{"lab", LabLink()}, {"telecom-25km", TelecomLink(25000)}, {"telecom-50km", TelecomLink(50000)}} {
+			for _, alpha := range []float64{1e-6, 1e-4, 0.01, 0.05, 0.2, 0.4} {
+				m := lc.link.Model(hw.params, alpha)
+				if m.SuccessProb <= 0 {
+					continue
+				}
+				if m.WDark > 0.01 {
+					sawDark = true
+				}
+				for _, idx := range []quantum.BellIndex{quantum.PsiPlus, quantum.PsiMinus} {
+					rho := m.StateW(ws, idx)
+					got := quantum.Fidelity(rho, idx)
+					if math.Abs(got-m.Fidelity()) > 1e-12 {
+						t.Errorf("%s/%s α=%v idx=%v (wDark=%.3g): ⟨B|ρ|B⟩ = %v, Fidelity() = %v",
+							hw.name, lc.name, alpha, idx, m.WDark, got, m.Fidelity())
+					}
+					ws.Put(rho)
+				}
+			}
+		}
+	}
+	if !sawDark {
+		t.Fatal("parameter grid never reached a significant dark-count fraction; widen it")
+	}
+}
+
 func TestGenerateHeraldsBothSigns(t *testing.T) {
 	p := Simulation()
 	l := LabLink()

@@ -25,8 +25,10 @@ import (
 
 	"qnp/internal/device"
 	"qnp/internal/hardware"
+	"qnp/internal/linalg"
 	"qnp/internal/quantum"
 	"qnp/internal/sim"
+	"qnp/internal/werner"
 )
 
 // Label identifies a virtual circuit's reservation on one link (the paper's
@@ -398,8 +400,20 @@ func (e *Engine) complete(cur *round) {
 	for _, d := range e.devs {
 		d.ApplyAttemptDephasing(cur.k)
 	}
-	rho, idx := e.cfg.GenerateW(e.devs[0].Workspace(), e.devs[0].Params(), r.alpha, e.sim.Rand())
-	pair := device.NewPair(e.sim.Now(), rho, idx, cur.qubits[0], cur.qubits[1])
+	model := e.cfg.Model(e.devs[0].Params(), r.alpha)
+	var pair *device.Pair
+	var idx quantum.BellIndex
+	if e.devs[0].Physics() == device.PhysicsWerner {
+		// Scalar fast path: the produced state collapses to the model
+		// fidelity's Werner equivalent; the herald draw matches GenerateW.
+		var w float64
+		w, idx = werner.Generate(model.Fidelity(), e.sim.Rand())
+		pair = device.NewScalarPair(e.sim.Now(), w, idx, cur.qubits[0], cur.qubits[1])
+	} else {
+		var rho *linalg.Matrix
+		rho, idx = e.cfg.GenerateW(e.devs[0].Workspace(), e.devs[0].Params(), r.alpha, e.sim.Rand())
+		pair = device.NewPair(e.sim.Now(), rho, idx, cur.qubits[0], cur.qubits[1])
+	}
 	corr := Correlator{Link: e.name, Seq: e.seq}
 	e.seq++
 	d := Delivery{
@@ -407,7 +421,7 @@ func (e *Engine) complete(cur *round) {
 		Corr:          corr,
 		Pair:          pair,
 		Idx:           idx,
-		ModelFidelity: e.cfg.Model(e.devs[0].Params(), r.alpha).Fidelity(),
+		ModelFidelity: model.Fidelity(),
 	}
 	// Deliver to both ends; consumers may free qubits or trigger swaps,
 	// which re-enters dispatch via OnFree — that's fine, we're idle now.

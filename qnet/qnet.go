@@ -52,6 +52,20 @@
 // the farthest endpoint pair, so a scenario can always ask for the
 // topology's hardest circuit via the DiameterPair selector.
 //
+// # Physics engines
+//
+// Config.Physics selects how entangled-pair states are represented.
+// PhysicsExact (the zero value) evolves 4×4 density matrices through the
+// exact channel models in internal/quantum. PhysicsWerner tracks a single
+// Werner parameter per pair with closed-form updates (internal/werner) —
+// constant work per operation instead of matrix algebra, which is what
+// makes city-scale scenarios fast. The closed forms are exact for
+// Werner-form states (pinned to ≤1e-12 by property tests) and a bounded
+// approximation otherwise; both engines consume identical RNG streams in
+// identical order, so the event timeline, throughput, latency and
+// admission behaviour do not change with the engine — only the oracle
+// fidelity readouts, within the envelope the cross-engine CI suite gates.
+//
 // # Imperative core
 //
 // The scenario layer is sugar over the imperative builder, which remains
@@ -110,6 +124,8 @@ type (
 	// Label identifies a circuit's reservation on one link (the paper's
 	// link-label); the signalling protocol uses the circuit ID itself.
 	Label = linklayer.Label
+	// Physics selects the pair-state engine (see Config.Physics).
+	Physics = device.Physics
 )
 
 // Request consumption modes.
@@ -125,6 +141,15 @@ const (
 	CutoffLong   = routing.CutoffLong
 	CutoffShort  = routing.CutoffShort
 	CutoffManual = routing.CutoffManual
+)
+
+// Physics engines (see Config.Physics).
+const (
+	// PhysicsExact tracks every pair as an exact 4×4 density matrix.
+	PhysicsExact = device.PhysicsExact
+	// PhysicsWerner tracks a single Werner parameter per pair — the scalar
+	// fast path, validated against the exact engine in CI.
+	PhysicsWerner = device.PhysicsWerner
 )
 
 // Config selects the hardware model and topology parameters. All links and
@@ -166,6 +191,15 @@ type Config struct {
 	// feeds back into the simulation: both modes fire the identical event
 	// sequence and produce identical counters.
 	MetricsMode MetricsMode
+	// Physics selects the pair-state engine. The zero value, PhysicsExact,
+	// tracks every entangled pair as a 4×4 density matrix through the exact
+	// channel models; PhysicsWerner tracks a single Werner parameter per
+	// pair with closed-form updates (internal/werner) — far faster on
+	// swap-heavy scenarios, exact for Werner-form states and a bounded
+	// approximation otherwise. Both engines consume identical RNG streams,
+	// so switching engines never changes the event timeline, only the
+	// fidelity values the oracle reports.
+	Physics Physics
 }
 
 // LinkKey canonically names the a-b link for Config.LinkLengthM overrides.
@@ -243,7 +277,7 @@ func (n *Network) AddNode(id string) {
 	}
 	n.Classical.AddNode(netsim.NodeID(id))
 	n.Graph.AddNode(id)
-	dev := device.New(n.Sim, id, n.Config.Params)
+	dev := device.NewWithPhysics(n.Sim, id, n.Config.Params, n.Config.Physics)
 	if n.Config.SharedCommQubits > 0 {
 		dev.AddCommQubits("", n.Config.SharedCommQubits)
 	}

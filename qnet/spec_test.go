@@ -136,6 +136,42 @@ func TestScenarioSpecRoundTripWorkloads(t *testing.T) {
 	}
 }
 
+// TestScenarioSpecRoundTripPhysics proves Config.Physics travels through
+// the spec wire: the decoded spec carries the Werner selector, and the
+// round-tripped scenario runs to bit-identical Metrics. RecordFidelity
+// makes the check sharp — if the field were silently dropped, the decoded
+// side would run the exact engine and its recorded fidelities would
+// diverge from the Werner originals.
+func TestScenarioSpecRoundTripPhysics(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name:     "rt-physics",
+		Config:   Config{Seed: 11, Physics: PhysicsWerner},
+		Topology: ChainTopo(3),
+		Circuits: []CircuitSpec{{
+			ID: "c", Src: "n0", Dst: "n2", Fidelity: 0.8,
+			Workload: ContinuousKeep{}, RecordFidelity: true,
+		}},
+		Horizon: 2 * sim.Second,
+	}
+	spec, err := sc.Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	var decoded ScenarioSpec
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatalf("unmarshal spec: %v", err)
+	}
+	if decoded.Config.Physics != PhysicsWerner {
+		t.Fatalf("decoded Physics = %v, want %v", decoded.Config.Physics, PhysicsWerner)
+	}
+	runSpecRoundTrip(t, sc)
+}
+
 func TestScenarioSpecRejectsRuntimeOnlyFeatures(t *testing.T) {
 	base := Scenario{
 		Topology: ChainTopo(3),
