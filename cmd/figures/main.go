@@ -12,7 +12,7 @@
 //	figures -fig hub -progress  # hub contention with a progress ticker
 //
 // Figure IDs: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer,
-// all.
+// churn, multipath, all.
 //
 // Replicas fan out across a worker pool (-workers, default NumCPU) or,
 // with -shards N, across N re-exec'd worker processes; the per-replica
@@ -39,7 +39,7 @@ func main() {
 	// exits here, before flag parsing.
 	runner.MaybeWorker()
 
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer, churn, all, or city (not in all: the city-scale streaming-metrics study runs only when asked for)")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 8, 9, 10ab, 10c, 11, tables, topo, hub, diversity, eer, churn, multipath, all, or city (not in all: the city-scale streaming-metrics study runs only when asked for)")
 	runs := flag.Int("runs", 0, "independent simulation runs per point (0 = default)")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -151,6 +151,9 @@ func main() {
 	}
 	if want("churn") {
 		run("churn", func() interface{ Print(io.Writer) } { return experiments.Churn(o) })
+	}
+	if want("multipath") {
+		run("multipath", func() interface{ Print(io.Writer) } { return experiments.Multipath(o) })
 	}
 	// The city study is opt-in, not part of "all": it is far larger than
 	// the paper figures (a 225-node grid under thousands of churning

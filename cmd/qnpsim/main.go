@@ -50,7 +50,9 @@ func main() {
 	interval := flag.Float64("interval", 1, "request inter-arrival seconds (interval, poisson, onoff); mean circuit-arrival offset (churn)")
 	hold := flag.Float64("hold", 5, "mean circuit holding seconds (churn)")
 	minEER := flag.Float64("mineer", 0, "per-circuit admission demand in pairs/s (churn; needs admission control)")
-	staticAlloc := flag.Bool("static-alloc", false, "freeze admission allocations at MaxLPR/2 instead of re-fitting to membership")
+	alloc := flag.String("alloc", "count", "allocation policy: count (equal split by membership), model (model-weighted by each circuit's deliverable rate), static (frozen at MaxLPR/2)")
+	staticAlloc := flag.Bool("static-alloc", false, "deprecated alias for -alloc static")
+	paths := flag.Int("paths", 1, "k-shortest-path candidates scored per circuit (> 1 re-routes around contention the shortest path cannot absorb)")
 	cutoff := flag.String("cutoff", "long", "cutoff policy: long, short, none")
 	maxEER := flag.Float64("maxeer", 0, "circuit EER allocation for admission control (0 = off)")
 	nearterm := flag.Bool("nearterm", false, "near-term hardware (25 km telecom links, carbon storage)")
@@ -77,7 +79,21 @@ func main() {
 	if *maxEER > 0 || *minEER > 0 {
 		cfg.EnforceEER = true
 	}
+	switch *alloc {
+	case "count":
+	case "model":
+		cfg.Alloc = qnet.AllocModelWeighted
+	case "static":
+		cfg.Alloc = qnet.AllocStatic
+	default:
+		die("unknown allocation policy %q (want count, model or static)", *alloc)
+	}
+	// The deprecated bool is honoured only while -alloc is left at its
+	// default (Config.allocPolicy resolves the precedence).
 	cfg.StaticAllocation = *staticAlloc
+	if *paths < 1 {
+		die("-paths must be ≥ 1 (got %d)", *paths)
+	}
 	if *streaming {
 		cfg.MetricsMode = qnet.MetricsStreaming
 	}
@@ -175,7 +191,7 @@ func main() {
 
 	spec := qnet.CircuitSpec{
 		ID: "cli", Fidelity: *fidelity, Policy: policy, MaxEER: *maxEER,
-		Workload: wl, RecordFidelity: true,
+		Candidates: *paths, Workload: wl, RecordFidelity: true,
 	}
 	if churning {
 		spec.Arrival = qnet.Exponential(iv)

@@ -516,9 +516,10 @@ func (n *Node) TestEstimateFor(id CircuitID) (float64, int, bool) {
 
 // NodeStats aggregates a node's QNP counters across circuits. LateDrops
 // counts data-plane messages dropped because their circuit had already torn
-// down (churn stragglers).
+// down (churn stragglers); EERUpdates counts allocation re-fits applied at
+// the node (always zero when the network does not enforce admission).
 type NodeStats struct {
-	Swaps, Discards, ExpiresSent, TrackMismatches, LateDrops uint64
+	Swaps, Discards, ExpiresSent, TrackMismatches, LateDrops, EERUpdates uint64
 }
 
 // Stats returns the node's counters.
@@ -531,5 +532,6 @@ func (n *Node) Stats() NodeStats {
 		st.TrackMismatches += cs.trackMismatch
 	}
 	st.LateDrops = n.lateDrops
+	st.EERUpdates = n.eerUpdates
 	return st
 }

@@ -183,6 +183,10 @@ type Node struct {
 	torn map[CircuitID]sim.Time
 	// lateDrops counts messages dropped against tombstones.
 	lateDrops uint64
+	// eerUpdates counts allocation re-fits applied at this node — the
+	// observable footprint of UpdateMsg refit traffic (a non-enforcing
+	// network must keep it at zero).
+	eerUpdates uint64
 	// gcRunning marks the periodic soft-state sweep as started.
 	gcRunning bool
 }
@@ -342,6 +346,7 @@ func (n *Node) UninstallCircuit(id CircuitID) {
 // The head-end re-derives its link pacing from the new allocation and
 // re-examines shaped requests, which may now fit.
 func (n *Node) UpdateCircuitEER(id CircuitID, maxEER float64) {
+	n.eerUpdates++
 	cs, ok := n.circuits[id]
 	if !ok {
 		return // circuit mid-teardown: the update raced its departure

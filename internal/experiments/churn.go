@@ -72,7 +72,9 @@ func churnDemand() float64 { return 0.4 * eerAllocation() }
 func churnScenario(topo string, hold sim.Duration, static bool, physics qnet.Physics, p churnParams, demand float64) qnet.Scenario {
 	cfg := qnet.DefaultConfig()
 	cfg.EnforceEER = true
-	cfg.StaticAllocation = static
+	if static {
+		cfg.Alloc = qnet.AllocStatic
+	}
 	cfg.Physics = physics
 	var ts qnet.TopologySpec
 	if topo == "grid" {

@@ -432,6 +432,9 @@ func TestShardCountInvariance(t *testing.T) {
 		if !testing.Short() {
 			Fig9(o).Print(&buf)
 			EERSaturation(o).Print(&buf)
+			// Multipath exercises k-candidate placement and both allocation
+			// policies across the Backend seam.
+			multipath(o, multipathParams{Horizon: 2 * sim.Second, Pairs: 6}).Print(&buf)
 		}
 		return buf.String()
 	}
@@ -555,6 +558,68 @@ func TestChurnQuick(t *testing.T) {
 	d.Print(&buf)
 	out := buf.String()
 	for _, want := range []string{"re-fit", "static", "Circuit churn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q", want)
+		}
+	}
+}
+
+// TestMultipathQuick pins the placement study's headline claim: k=3
+// model-weighted placement admits strictly more circuits than k=1
+// count-split (or at least as many at a higher aggregate EER) on both
+// testbeds, and the crafted grid load's admitted count rises with k.
+func TestMultipathQuick(t *testing.T) {
+	t.Parallel()
+	o := QuickOptions()
+	p := multipathParams{Horizon: 2 * sim.Second, Pairs: 16}
+	d := multipath(o, p)
+	if len(d.Points) != 12 {
+		t.Fatalf("point count = %d, want 12", len(d.Points))
+	}
+	point := func(topo string, k int, model bool) MultipathPoint {
+		for _, pt := range d.Points {
+			if pt.Topology == topo && pt.K == k && pt.Model == model {
+				return pt
+			}
+		}
+		t.Fatalf("no point for %s k=%d model=%v", topo, k, model)
+		return MultipathPoint{}
+	}
+	for _, topo := range []string{"grid-4x4", "waxman-12"} {
+		base := point(topo, 1, false)
+		best := point(topo, 3, true)
+		if base.Admitted <= 0 {
+			t.Errorf("%s k=1 count-split admitted nothing", topo)
+		}
+		better := best.Admitted > base.Admitted ||
+			(best.Admitted == base.Admitted && best.AggEER > base.AggEER)
+		if !better {
+			t.Errorf("%s: k=3 model-weighted (admitted %.1f, agg %.2f) does not beat k=1 count-split (admitted %.1f, agg %.2f)",
+				topo, best.Admitted, best.AggEER, base.Admitted, base.AggEER)
+		}
+		for _, pt := range d.Points {
+			if pt.Topology == topo && pt.Admitted+pt.Rejected > float64(pt.Offered) {
+				t.Errorf("%s k=%d model=%v: admitted %.1f + rejected %.1f exceeds offered %d",
+					topo, pt.K, pt.Model, pt.Admitted, pt.Rejected, pt.Offered)
+			}
+		}
+	}
+	// The crafted grid load is seed-independent: admission there is exact.
+	for _, model := range []bool{false, true} {
+		g1, g2, g3 := point("grid-4x4", 1, model), point("grid-4x4", 2, model), point("grid-4x4", 3, model)
+		if !(g1.Admitted < g2.Admitted && g2.Admitted < g3.Admitted) {
+			t.Errorf("grid admitted not rising with k (model=%v): %.1f, %.1f, %.1f",
+				model, g1.Admitted, g2.Admitted, g3.Admitted)
+		}
+		if g1.Rerouted != 0 || g3.Rerouted == 0 {
+			t.Errorf("grid rerouted counts wrong (model=%v): k=1 %.1f (want 0), k=3 %.1f (want > 0)",
+				model, g1.Rerouted, g3.Rerouted)
+		}
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Multipath placement", "model", "count", "re-routes"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Print output missing %q", want)
 		}

@@ -10,6 +10,18 @@
 // interval on both qubits and composing noisy entanglement swaps with the
 // same quantum engine the data plane uses, then bisecting for the smallest
 // link fidelity that still meets the end-to-end target.
+//
+// Beyond the paper, the controller places circuits rather than merely
+// routing them: Place (the typed PlacementRequest/PlacementDecision API)
+// enumerates up to K loopless candidate paths with Yen's algorithm, budgets
+// each candidate with the worst-case simulation above, scores it by its
+// modeled deliverable end-to-end rate against the current link membership,
+// and — when admission control would reject a MinEER demand on the
+// shortest path — falls back to the first candidate that can absorb it.
+// Under admission control each link's pair-rate budget is divided among
+// its member circuits by an AllocPolicy: equal count-split, model-weighted
+// (proportional to each member's modeled deliverable rate), or frozen
+// static halves.
 package routing
 
 import (
@@ -133,6 +145,14 @@ func (g *Graph) ShortestPath(src, dst string) ([]string, error) {
 	if !g.nodes[src] || !g.nodes[dst] {
 		return nil, fmt.Errorf("routing: unknown endpoint %q or %q", src, dst)
 	}
+	return g.shortestPathFiltered(src, dst, nil, nil)
+}
+
+// shortestPathFiltered is ShortestPath with banned nodes and banned
+// (canonically keyed) links removed from the graph — the spur searches of
+// Yen's algorithm. With nil bans it is exactly ShortestPath: the iteration
+// and tie-break order are untouched, so public results cannot drift.
+func (g *Graph) shortestPathFiltered(src, dst string, bannedNode map[string]bool, bannedLink map[string]bool) ([]string, error) {
 	dist := map[string]int{src: 0}
 	prev := map[string]string{}
 	visited := map[string]bool{}
@@ -163,6 +183,9 @@ func (g *Graph) ShortestPath(src, dst string) ([]string, error) {
 		}
 		sort.Strings(nbrs)
 		for _, nb := range nbrs {
+			if bannedNode[nb] || bannedLink[linkID(best, nb)] {
+				continue
+			}
 			if d := bestD + 1; !visited[nb] {
 				if old, ok := dist[nb]; !ok || d < old {
 					dist[nb] = d
@@ -210,12 +233,10 @@ type Controller struct {
 	// paper's evaluation leaves it off ("we do not perform any resource
 	// management").
 	EnforceEER bool
-	// Static freezes the allocation at the original MaxLPR/2-per-circuit
-	// heuristic regardless of how many circuits share a link. The default
-	// re-fits allocations to link membership as circuits join and leave
-	// (§4.4); Static exists to reproduce the pre-re-fit behaviour for
-	// comparison studies.
-	Static bool
+	// Policy selects how link budget divides among the circuits sharing a
+	// link; the zero value is the legacy count-split rule. See
+	// AllocationPolicy.
+	Policy AllocationPolicy
 
 	// members tracks installed circuits for allocation accounting, keyed by
 	// circuit ID; linkMembers indexes which members hold each link, so
@@ -223,15 +244,6 @@ type Controller struct {
 	// the members actually sharing a link with the changed path.
 	members     map[string]member
 	linkMembers map[string]map[string]bool
-}
-
-// member is one installed circuit's allocation-relevant state. Fixed
-// members (caller-overridden MaxEER, manual plans) occupy link budget but
-// never receive re-fit updates.
-type member struct {
-	path   []string
-	maxLPR float64
-	fixed  bool
 }
 
 // Refit is one circuit's re-fitted allocation after a membership change.
@@ -253,153 +265,36 @@ func linkID(a, b string) string {
 	return a + "|" + b
 }
 
-// countLinks adds (or removes) one member on every link of its path.
-func (c *Controller) countLinks(id string, path []string, add bool) {
-	for i := 0; i+1 < len(path); i++ {
-		k := linkID(path[i], path[i+1])
-		if add {
-			if c.linkMembers[k] == nil {
-				c.linkMembers[k] = make(map[string]bool)
-			}
-			c.linkMembers[k][id] = true
-			continue
-		}
-		delete(c.linkMembers[k], id)
-		if len(c.linkMembers[k]) == 0 {
-			delete(c.linkMembers, k)
-		}
-	}
-}
-
-// sharing collects the members holding any link of path, excluding except —
-// the only circuits whose allocation a change to this path can move.
-func (c *Controller) sharing(path []string, except string) map[string]bool {
-	out := make(map[string]bool)
-	for i := 0; i+1 < len(path); i++ {
-		for id := range c.linkMembers[linkID(path[i], path[i+1])] {
-			if id != except {
-				out[id] = true
-			}
-		}
-	}
-	return out
-}
-
-// linkShare is the membership of the path's most contended link. admitted
-// says whether the path's own circuit is already indexed; a prospective
-// candidate adds itself on top.
-func (c *Controller) linkShare(path []string, admitted bool) int {
-	maxShare := 1 // the circuit itself
-	for i := 0; i+1 < len(path); i++ {
-		share := len(c.linkMembers[linkID(path[i], path[i+1])])
-		if !admitted {
-			share++
-		}
-		if share > maxShare {
-			maxShare = share
-		}
-	}
-	return maxShare
-}
-
-// allocationFor is the admission-control rate allocation for a circuit over
-// path: the reserved link-pair rate, discounted by 2 for the swap pipeline's
-// worst-case survival, and split equally among the circuits sharing the
-// path's most contended link. With no sharing this reduces to the original
-// MaxLPR/2 heuristic, which Static pins regardless of membership.
-func (c *Controller) allocationFor(path []string, maxLPR float64, admitted bool) float64 {
-	if c.Static {
-		return maxLPR / 2
-	}
-	return maxLPR / (2 * float64(c.linkShare(path, admitted)))
-}
-
-// Admit registers an installed circuit for allocation accounting and
-// returns the re-fitted allocations of the *other* members whose share
-// changed, sorted by circuit ID (deterministic propagation order). Static
-// controllers track membership but never produce re-fits (allocations are
-// membership-independent there by construction).
-func (c *Controller) Admit(id string, path []string, maxLPR float64, fixed bool) []Refit {
-	affected := c.sharing(path, id)
-	if old, ok := c.members[id]; ok {
-		for a := range c.sharing(old.path, id) {
-			affected[a] = true
-		}
-		c.countLinks(id, old.path, false)
-	}
-	before := c.snapshot(affected)
-	c.members[id] = member{path: append([]string(nil), path...), maxLPR: maxLPR, fixed: fixed}
-	c.countLinks(id, path, true)
-	return c.refitChanged(before)
-}
-
-// Release removes a departing circuit and returns the re-fitted allocations
-// of the survivors whose share grew, sorted by circuit ID.
-func (c *Controller) Release(id string) []Refit {
-	m, ok := c.members[id]
-	if !ok {
-		return nil
-	}
-	before := c.snapshot(c.sharing(m.path, id))
-	delete(c.members, id)
-	c.countLinks(id, m.path, false)
-	return c.refitChanged(before)
-}
-
-// Allocation reports a tracked circuit's current re-fitted allocation
-// (fixed members have no re-fitted allocation and report false).
-func (c *Controller) Allocation(id string) (float64, bool) {
-	m, ok := c.members[id]
-	if !ok || m.fixed {
-		return 0, false
-	}
-	return c.allocationFor(m.path, m.maxLPR, true), true
-}
-
-// MemberPath reports a tracked circuit's path (for signalling propagation).
-func (c *Controller) MemberPath(id string) ([]string, bool) {
-	m, ok := c.members[id]
-	return m.path, ok
-}
-
-// snapshot records the current allocation of each listed re-fittable
-// member (members off the changed path's links cannot move, so they are
-// never snapshotted).
-func (c *Controller) snapshot(ids map[string]bool) map[string]float64 {
-	out := make(map[string]float64, len(ids))
-	for id := range ids {
-		if m, ok := c.members[id]; ok && !m.fixed {
-			out[id] = c.allocationFor(m.path, m.maxLPR, true)
-		}
-	}
-	return out
-}
-
-// refitChanged diffs the snapshotted members' allocations against their
-// values before the membership change.
-func (c *Controller) refitChanged(before map[string]float64) []Refit {
-	var out []Refit
-	for id, prev := range before {
-		m, ok := c.members[id]
-		if !ok || m.fixed {
-			continue
-		}
-		if alloc := c.allocationFor(m.path, m.maxLPR, true); alloc != prev {
-			out = append(out, Refit{Circuit: id, MaxEER: alloc})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Circuit < out[j].Circuit })
-	return out
-}
-
-// PlanCircuit computes a path and per-link fidelity budget for an
+// PlanCircuit computes a shortest path and per-link fidelity budget for an
 // end-to-end fidelity target, applying the cutoff policy. manualCutoff is
 // used only with CutoffManual.
+//
+// Deprecated: use Place with PlacementRequest{Probe: true}, which also
+// scores k-shortest-path candidates. PlanCircuit remains the k=1 legacy
+// entry point and is bit-identical to its pre-placement behaviour.
 func (c *Controller) PlanCircuit(src, dst string, e2eFidelity float64, policy CutoffPolicy, manualCutoff sim.Duration) (Plan, error) {
 	path, err := c.Graph.ShortestPath(src, dst)
 	if err != nil {
 		return Plan{}, err
 	}
+	plan, err := c.planPath(path, e2eFidelity, policy, manualCutoff)
+	if err != nil {
+		return Plan{}, err
+	}
+	if c.EnforceEER {
+		// Prospective allocation: what this circuit would be handed if it
+		// joined the current membership. Admission compares this number
+		// against the circuit's demand before installing.
+		plan.MaxEER = c.allocationFor(memberFor(plan, false), false)
+	}
+	return plan, nil
+}
+
+// planPath computes the per-link fidelity budget for one concrete path:
+// the smallest link fidelity whose worst-case end-to-end composition still
+// meets the target, plus the cutoff and rate numbers derived from it. It
+// never sets Plan.MaxEER — allocation is the placement layer's job.
+func (c *Controller) planPath(path []string, e2eFidelity float64, policy CutoffPolicy, manualCutoff sim.Duration) (Plan, error) {
 	link, _ := c.Graph.Link(path[0], path[1])
 	hops := len(path) - 1
 
@@ -435,14 +330,6 @@ func (c *Controller) PlanCircuit(src, dst string, e2eFidelity float64, policy Cu
 		MaxLPR:            1 / pairTime.Seconds(),
 		WorstCaseFidelity: c.worstCase(link, linkF, hops, policy, manualCutoff),
 		EndToEndFidelity:  e2eFidelity,
-	}
-	if c.EnforceEER {
-		// Prospective allocation: the bottleneck link-pair rate discounted
-		// by the worst-case survival of the swap pipeline, split across the
-		// circuits already holding the path's most contended link (the
-		// membership this circuit would join). Admission compares this
-		// number against the circuit's demand before installing.
-		plan.MaxEER = c.allocationFor(path, plan.MaxLPR, false)
 	}
 	return plan, nil
 }

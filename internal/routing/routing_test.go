@@ -253,7 +253,7 @@ func TestRefitAllocations(t *testing.T) {
 	// Static controllers never dilute.
 	s := NewController(dumbbell(), hardware.Simulation())
 	s.EnforceEER = true
-	s.Static = true
+	s.Policy = AllocStatic
 	sp, _ := s.PlanCircuit("A0", "B0", 0.85, CutoffShort, 0)
 	s.Admit("a", sp.Path, sp.MaxLPR, false)
 	sp2, _ := s.PlanCircuit("A1", "B1", 0.85, CutoffShort, 0)

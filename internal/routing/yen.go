@@ -1,0 +1,97 @@
+// Yen's k-shortest loopless paths over the controller graph, feeding the
+// placement layer's candidate enumeration.
+
+package routing
+
+import (
+	"sort"
+	"strings"
+)
+
+// KShortestPaths returns up to k loopless paths from src to dst under unit
+// link costs (Yen's algorithm), ordered by increasing hop count with
+// lexicographic tie-breaks among equal-length spur candidates. The first
+// entry is always exactly ShortestPath's result — k ≤ 1 delegates to it
+// outright — so legacy single-path planning is bit-identical by
+// construction. Fewer than k paths are returned when the graph holds no
+// more loopless alternatives.
+func (g *Graph) KShortestPaths(src, dst string, k int) ([][]string, error) {
+	first, err := g.ShortestPath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	paths := [][]string{first}
+	if k <= 1 {
+		return paths, nil
+	}
+	seen := map[string]bool{pathKey(first): true}
+	// pool holds spur candidates not yet promoted; it persists across
+	// rounds (a candidate generated while finding path 2 may become path 4).
+	var pool [][]string
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i+1 < len(prev); i++ {
+			spur := prev[i]
+			root := prev[:i+1]
+			// Ban the next edge of every accepted path sharing this root so
+			// the spur search is forced to deviate, and ban the root's
+			// interior nodes so the result stays loopless.
+			bannedLink := make(map[string]bool)
+			for _, p := range paths {
+				if len(p) > i+1 && samePrefix(p, root) {
+					bannedLink[linkID(p[i], p[i+1])] = true
+				}
+			}
+			bannedNode := make(map[string]bool)
+			for _, n := range root[:i] {
+				bannedNode[n] = true
+			}
+			tail, err := g.shortestPathFiltered(spur, dst, bannedNode, bannedLink)
+			if err != nil {
+				continue // no deviation from this spur node
+			}
+			cand := append(append([]string(nil), root...), tail[1:]...)
+			if key := pathKey(cand); !seen[key] {
+				seen[key] = true
+				pool = append(pool, cand)
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		sort.Slice(pool, func(a, b int) bool { return pathLess(pool[a], pool[b]) })
+		paths = append(paths, pool[0])
+		pool = pool[1:]
+	}
+	return paths, nil
+}
+
+// pathKey canonically names a path for dedup.
+func pathKey(p []string) string { return strings.Join(p, "|") }
+
+// samePrefix reports whether p starts with root.
+func samePrefix(p, root []string) bool {
+	if len(p) < len(root) {
+		return false
+	}
+	for i := range root {
+		if p[i] != root[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathLess orders candidate paths by hop count, then lexicographically by
+// node name — a total, deterministic order.
+func pathLess(a, b []string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

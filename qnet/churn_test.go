@@ -246,7 +246,7 @@ func TestAdmissionRecheckAtConfirm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	demand := 0.8 * probe.MaxEER // fits alone, not when shared
+	demand := 0.8 * probe.Plan.MaxEER // fits alone, not when shared
 
 	type outcome struct {
 		vc  *Circuit
@@ -270,8 +270,8 @@ func TestAdmissionRecheckAtConfirm(t *testing.T) {
 	if _, ok := net.Node("MA").Circuit("b"); ok {
 		t.Error("rejected arrival left routing state behind at MA")
 	}
-	if alloc, ok := net.Controller.Allocation("a"); !ok || alloc != probe.MaxEER {
-		t.Errorf("survivor allocation = %v, %v; want full %v after rollback", alloc, ok, probe.MaxEER)
+	if alloc, ok := net.Controller.Allocation("a"); !ok || alloc != probe.Plan.MaxEER {
+		t.Errorf("survivor allocation = %v, %v; want full %v after rollback", alloc, ok, probe.Plan.MaxEER)
 	}
 }
 

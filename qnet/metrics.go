@@ -63,6 +63,10 @@ type CircuitMetrics struct {
 	Established bool
 	Err         string
 	Plan        Plan
+	// CandidateIndex is the k-shortest-path candidate the controller placed
+	// the circuit on: 0 is the shortest path (and the only possibility
+	// unless CircuitSpec.Candidates > 1), >0 a re-route around contention.
+	CandidateIndex int `json:",omitempty"`
 
 	// Lifetime stamps for churn scenarios. ArrivedAt is when the scenario
 	// offered the circuit (for pre-installed circuits, when its installation

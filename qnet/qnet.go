@@ -115,8 +115,17 @@ type (
 	TestEstimate = core.TestEstimate
 	// CutoffPolicy selects the routing controller's cutoff rule.
 	CutoffPolicy = routing.CutoffPolicy
+	// AllocationPolicy selects how link budget divides among the circuits
+	// sharing a link (see Config.Alloc).
+	AllocationPolicy = routing.AllocationPolicy
 	// Plan is the routing controller's circuit plan.
 	Plan = routing.Plan
+	// PlacementRequest asks the routing controller to place one circuit
+	// (Controller.Place).
+	PlacementRequest = routing.PlacementRequest
+	// PlacementDecision is the controller's placement answer: chosen plan,
+	// candidate index, modeled EER and allocation.
+	PlacementDecision = routing.PlacementDecision
 	// NodeStats are a QNP node's data-plane counters.
 	NodeStats = core.NodeStats
 	// Correlator identifies a link-pair / entanglement chain (§3.2).
@@ -141,6 +150,19 @@ const (
 	CutoffLong   = routing.CutoffLong
 	CutoffShort  = routing.CutoffShort
 	CutoffManual = routing.CutoffManual
+)
+
+// Allocation policies (see Config.Alloc).
+const (
+	// AllocCountSplit — the default — splits a link's budget equally among
+	// the circuits on the path's most contended link.
+	AllocCountSplit = routing.AllocCountSplit
+	// AllocModelWeighted divides link budget in proportion to each
+	// circuit's modeled end-to-end deliverable rate (worst-case swap
+	// survival, cutoff discards, fidelity budget).
+	AllocModelWeighted = routing.AllocModelWeighted
+	// AllocStatic pins the original MaxLPR/2-per-circuit heuristic.
+	AllocStatic = routing.AllocStatic
 )
 
 // Physics engines (see Config.Physics).
@@ -176,12 +198,20 @@ type Config struct {
 	// against it. The paper's evaluation leaves it off ("we do not perform
 	// any resource management").
 	EnforceEER bool
+	// Alloc selects the admission allocation policy: AllocCountSplit (the
+	// default) splits each link's budget equally among the circuits on the
+	// path's most contended link, AllocModelWeighted divides it in
+	// proportion to each circuit's modeled end-to-end deliverable rate, and
+	// AllocStatic pins the original MaxLPR/2 heuristic. Re-fits on churn
+	// propagate over the signalling plane as before. Only meaningful with
+	// EnforceEER.
+	Alloc AllocationPolicy
 	// StaticAllocation pins the admission allocation at the original
-	// MaxLPR/2-per-circuit heuristic. The default re-fits allocations to
-	// link membership as circuits join and leave (each link's budget is
-	// split equally among the circuits traversing it, propagated over the
-	// signalling plane); StaticAllocation reproduces the pre-re-fit
-	// behaviour for comparison studies. Only meaningful with EnforceEER.
+	// MaxLPR/2-per-circuit heuristic.
+	//
+	// Deprecated: set Alloc to AllocStatic instead. The bool is honoured
+	// (as AllocStatic) only while Alloc is left at its default, so old
+	// configs and serialized scenarios keep their meaning.
 	StaticAllocation bool
 	// MetricsMode selects how scenario metrics are recorded. The zero
 	// value, MetricsFull, keeps every per-delivery and per-request record
@@ -266,8 +296,19 @@ func New(cfg Config) *Network {
 	}
 	n.Controller = routing.NewController(n.Graph, cfg.Params)
 	n.Controller.EnforceEER = cfg.EnforceEER
-	n.Controller.Static = cfg.StaticAllocation
+	n.Controller.Policy = cfg.allocPolicy()
 	return n
+}
+
+// allocPolicy resolves Config.Alloc against the deprecated
+// StaticAllocation bool: the bool only matters while Alloc is left at its
+// default, so old configs (and serialized scenario specs) keep meaning
+// AllocStatic without being able to override an explicit policy.
+func (cfg Config) allocPolicy() AllocationPolicy {
+	if cfg.Alloc == AllocCountSplit && cfg.StaticAllocation {
+		return AllocStatic
+	}
+	return cfg.Alloc
 }
 
 // AddNode registers a node.
@@ -392,6 +433,12 @@ type CircuitOptions struct {
 	// establishment fails with ErrAdmissionRejected when the controller's
 	// (re-fitted) allocation falls below it. 0 admits unconditionally.
 	MinEER float64
+	// Candidates is the number of loopless candidate paths the controller
+	// enumerates and scores for placement (k-shortest-path placement).
+	// 0 or 1 places on the shortest path only, the legacy behaviour; with
+	// more, a MinEER demand the shortest path cannot absorb re-routes to
+	// the best alternate that can.
+	Candidates int
 }
 
 // ErrAdmissionRejected marks an establishment refused by admission control:
@@ -404,15 +451,18 @@ var ErrAdmissionRejected = errors.New("admission rejected: allocation below circ
 type Circuit struct {
 	ID   CircuitID
 	Plan Plan
-	net  *Network
-	torn bool
+	// Placement is the controller's plan-time placement decision (candidate
+	// index, modeled EER). Zero for manually installed plans.
+	Placement PlacementDecision
+	net       *Network
+	torn      bool
 }
 
 // Establish plans a circuit with the routing controller, installs it via
 // the signalling protocol, and advances the simulation just enough for the
 // installation round trip to complete.
 func (n *Network) Establish(id CircuitID, src, dst string, fidelity float64, opts *CircuitOptions) (*Circuit, error) {
-	plan, fixed, err := n.planFor(src, dst, fidelity, opts)
+	dec, fixed, err := n.planFor(src, dst, fidelity, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -421,10 +471,10 @@ func (n *Network) Establish(id CircuitID, src, dst string, fidelity float64, opt
 		asyncEr error
 		settled bool
 	)
-	n.establishPlanAsync(id, plan, fixed, minEEROf(opts), func(c *Circuit, err error) {
+	n.establishDecisionAsync(id, dec, fixed, minEEROf(opts), func(c *Circuit, err error) {
 		circ, asyncEr, settled = c, err, true
 	})
-	return n.driveInstall(id, plan, &circ, &asyncEr, &settled)
+	return n.driveInstall(id, dec.Plan, &circ, &asyncEr, &settled)
 }
 
 // minEEROf extracts the admission demand from options (0 = none).
@@ -442,39 +492,50 @@ func minEEROf(opts *CircuitOptions) float64 {
 // admission errors are reported synchronously through done before
 // EstablishAsync returns.
 func (n *Network) EstablishAsync(id CircuitID, src, dst string, fidelity float64, opts *CircuitOptions, done func(*Circuit, error)) {
-	plan, fixed, err := n.planFor(src, dst, fidelity, opts)
+	dec, fixed, err := n.planFor(src, dst, fidelity, opts)
 	if err != nil {
 		done(nil, err)
 		return
 	}
-	n.establishPlanAsync(id, plan, fixed, minEEROf(opts), done)
+	n.establishDecisionAsync(id, dec, fixed, minEEROf(opts), done)
 }
 
-// planFor runs the routing controller and applies the option overrides and
-// the MinEER admission check. fixed reports a caller-chosen MaxEER, which
+// planFor probes the routing controller for a placement and applies the
+// option overrides and the MinEER admission check. With Candidates > 1 the
+// controller scores k loopless candidate paths and re-routes a demand the
+// shortest path cannot absorb. fixed reports a caller-chosen MaxEER, which
 // allocation re-fitting must not touch.
-func (n *Network) planFor(src, dst string, fidelity float64, opts *CircuitOptions) (Plan, bool, error) {
+func (n *Network) planFor(src, dst string, fidelity float64, opts *CircuitOptions) (PlacementDecision, bool, error) {
 	o := CircuitOptions{}
 	if opts != nil {
 		o = *opts
 	}
-	plan, err := n.Controller.PlanCircuit(src, dst, fidelity, o.Policy, o.ManualCutoff)
+	fixed := o.MaxEER > 0
+	dec, _, err := n.Controller.Place(PlacementRequest{
+		Src:          src,
+		Dst:          dst,
+		Fidelity:     fidelity,
+		Cutoff:       o.Policy,
+		ManualCutoff: o.ManualCutoff,
+		MinEER:       o.MinEER,
+		Fixed:        fixed,
+		K:            o.Candidates,
+		Probe:        true,
+	})
 	if err != nil {
-		return Plan{}, false, err
+		return PlacementDecision{}, false, err
 	}
-	fixed := false
-	if o.MaxEER > 0 {
-		plan.MaxEER = o.MaxEER
-		fixed = true
+	if fixed {
+		dec.Plan.MaxEER = o.MaxEER
 	}
 	// The demand check applies to overridden caps too: a circuit whose own
 	// fixed allocation cannot carry its demand is rejected, not admitted
 	// into permanent shaping.
-	if o.MinEER > 0 && n.Controller.EnforceEER && plan.MaxEER < o.MinEER {
-		return Plan{}, false, fmt.Errorf("qnet: circuit %s→%s needs %.2f pairs/s, allocation %.2f: %w",
-			src, dst, o.MinEER, plan.MaxEER, ErrAdmissionRejected)
+	if o.MinEER > 0 && n.Controller.EnforceEER && dec.Plan.MaxEER < o.MinEER {
+		return PlacementDecision{}, false, fmt.Errorf("qnet: circuit %s→%s needs %.2f pairs/s, allocation %.2f: %w",
+			src, dst, o.MinEER, dec.Plan.MaxEER, ErrAdmissionRejected)
 	}
-	return plan, fixed, nil
+	return dec, fixed, nil
 }
 
 // EstablishPlan installs a hand-built plan, bypassing the routing
@@ -512,11 +573,18 @@ func (n *Network) driveInstall(id CircuitID, plan Plan, circ **Circuit, asyncEr 
 	return *circ, *asyncEr
 }
 
-// establishPlanAsync installs a plan without stepping the simulation; done
-// fires when the CONFIRM returns to the head-end (or synchronously, with an
-// error, if installation cannot start). minEER is the circuit's admission
-// demand, re-checked at CONFIRM time against the then-current membership.
+// establishPlanAsync installs a hand-built plan without stepping the
+// simulation (the manual EstablishPlan path: no placement decision exists).
 func (n *Network) establishPlanAsync(id CircuitID, plan Plan, fixed bool, minEER float64, done func(*Circuit, error)) {
+	n.establishDecisionAsync(id, PlacementDecision{Plan: plan}, fixed, minEER, done)
+}
+
+// establishDecisionAsync installs a placement decision's plan without
+// stepping the simulation; done fires when the CONFIRM returns to the
+// head-end (or synchronously, with an error, if installation cannot
+// start). minEER is the circuit's admission demand, re-checked at CONFIRM
+// time against the then-current membership.
+func (n *Network) establishDecisionAsync(id CircuitID, dec PlacementDecision, fixed bool, minEER float64, done func(*Circuit, error)) {
 	if !n.started {
 		n.Start()
 	}
@@ -524,15 +592,16 @@ func (n *Network) establishPlanAsync(id CircuitID, plan Plan, fixed bool, minEER
 		done(nil, fmt.Errorf("qnet: circuit %q already exists", id))
 		return
 	}
+	plan := dec.Plan
 	err := n.signaler.Establish(id, plan, func() {
-		c := &Circuit{ID: id, Plan: plan, net: n}
+		c := &Circuit{ID: id, Plan: plan, Placement: dec, net: n}
 		n.circuits[id] = c
 		// Joining may dilute the allocations of circuits sharing links with
 		// this one: re-fit and propagate the members' new caps (§4.4).
 		// Caller-fixed allocations join the membership (they occupy link
 		// budget) but never receive re-fit updates.
 		if n.Controller.EnforceEER && plan.MaxEER > 0 {
-			refits := n.Controller.Admit(string(id), plan.Path, plan.MaxLPR, fixed)
+			_, refits, _ := n.Controller.Place(PlacementRequest{ID: string(id), Fixed: fixed, Plan: &plan})
 			if alloc, ok := n.Controller.Allocation(string(id)); ok && !fixed {
 				if minEER > 0 && alloc < minEER {
 					// A racing arrival between planning and this CONFIRM

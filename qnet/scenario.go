@@ -221,6 +221,12 @@ type CircuitSpec struct {
 	// arrival whose re-fitted allocation falls below MinEER is rejected —
 	// counted in Metrics.RejectedAtAdmission, not treated as a run error.
 	MinEER float64
+	// Candidates is the number of loopless candidate paths the controller
+	// scores for placement (see CircuitOptions.Candidates). 0 or 1 places
+	// on the shortest path only; with more, a MinEER demand the shortest
+	// path cannot absorb re-routes to the best alternate that can, recorded
+	// in CircuitMetrics.CandidateIndex.
+	Candidates int
 	// Workload drives requests; nil establishes an idle circuit.
 	Workload Workload
 	// Head and Tail are application callbacks layered over the metrics
@@ -604,6 +610,7 @@ func (sc Scenario) arrive(eng *runState, lc *liveCircuit) {
 		lc.cm.EstablishedAt = net.Sim.Now()
 		lc.cm.Plan = vc.Plan
 		lc.cm.Path = append([]string(nil), vc.Plan.Path...)
+		lc.cm.CandidateIndex = vc.Placement.CandidateIndex
 		eng.res.circs[lc.id] = vc
 		sc.attach(lc)
 		if lc.spec.Workload != nil {
@@ -628,6 +635,7 @@ func (sc Scenario) arrive(eng *runState, lc *liveCircuit) {
 		ManualCutoff: lc.spec.ManualCutoff,
 		MaxEER:       lc.spec.MaxEER,
 		MinEER:       lc.spec.MinEER,
+		Candidates:   lc.spec.Candidates,
 	}
 	net.EstablishAsync(lc.id, lc.src, lc.dst, lc.spec.Fidelity, opts, done)
 }
@@ -659,6 +667,7 @@ func (sc Scenario) establish(eng *runState, lc *liveCircuit) error {
 			ManualCutoff: lc.spec.ManualCutoff,
 			MaxEER:       lc.spec.MaxEER,
 			MinEER:       lc.spec.MinEER,
+			Candidates:   lc.spec.Candidates,
 		}
 		vc, err = net.Establish(lc.id, lc.src, lc.dst, lc.spec.Fidelity, opts)
 	}
@@ -682,6 +691,7 @@ func (sc Scenario) establish(eng *runState, lc *liveCircuit) error {
 	lc.cm.EstablishedAt = net.Sim.Now()
 	lc.cm.Plan = vc.Plan
 	lc.cm.Path = append([]string(nil), vc.Plan.Path...)
+	lc.cm.CandidateIndex = vc.Placement.CandidateIndex
 	return nil
 }
 

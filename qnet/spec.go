@@ -261,6 +261,7 @@ type CircuitWire struct {
 	ManualCutoff    sim.Duration `json:",omitempty"`
 	MaxEER          float64      `json:",omitempty"`
 	MinEER          float64      `json:",omitempty"`
+	Candidates      int          `json:",omitempty"`
 	ArriveAt        sim.Duration `json:",omitempty"`
 	HoldFor         sim.Duration `json:",omitempty"`
 	Arrival         *Dist        `json:",omitempty"`
@@ -286,7 +287,7 @@ func (spec CircuitSpec) wire() (CircuitWire, error) {
 	w := CircuitWire{
 		ID: spec.ID, Src: spec.Src, Dst: spec.Dst,
 		Fidelity: spec.Fidelity, Policy: spec.Policy, ManualCutoff: spec.ManualCutoff,
-		MaxEER: spec.MaxEER, MinEER: spec.MinEER,
+		MaxEER: spec.MaxEER, MinEER: spec.MinEER, Candidates: spec.Candidates,
 		ArriveAt: spec.ArriveAt, HoldFor: spec.HoldFor,
 		HeadAutoConsume: spec.Head.AutoConsume, TailAutoConsume: spec.Tail.AutoConsume,
 		RecordFidelity: spec.RecordFidelity, Optional: spec.Optional,
@@ -324,7 +325,7 @@ func (w CircuitWire) spec() (CircuitSpec, error) {
 	spec := CircuitSpec{
 		ID: w.ID, Src: w.Src, Dst: w.Dst,
 		Fidelity: w.Fidelity, Policy: w.Policy, ManualCutoff: w.ManualCutoff,
-		MaxEER: w.MaxEER, MinEER: w.MinEER,
+		MaxEER: w.MaxEER, MinEER: w.MinEER, Candidates: w.Candidates,
 		ArriveAt: w.ArriveAt, HoldFor: w.HoldFor,
 		Head:           Handlers{AutoConsume: w.HeadAutoConsume},
 		Tail:           Handlers{AutoConsume: w.TailAutoConsume},
