@@ -16,7 +16,8 @@
 // diameter; -circuits k > 1 draws k distinct random endpoint pairs.
 // -replicas R fans R independent seeded replicas across a worker pool and
 // reports aggregate means; -shards N spreads them over N worker processes
-// instead, with bit-identical aggregates.
+// instead, and -fleet N over N work-stealing endpoints (-resume DIR adds a
+// checkpoint journal), all with bit-identical aggregates.
 package main
 
 import (
@@ -63,6 +64,10 @@ func main() {
 	replicas := flag.Int("replicas", 1, "independent replicas (means reported when > 1)")
 	workers := flag.Int("workers", 0, "replica worker pool size (0 = NumCPU)")
 	shards := flag.Int("shards", 0, "worker processes to shard replicas across (0 = in-process)")
+	fleet := flag.Int("fleet", 0, "local fleet endpoints to work-steal replicas across (0 = no fleet; exclusive with -shards)")
+	fleetThrottle := flag.Duration("fleet-throttle", 0, "artificial per-chunk delay on the last fleet endpoint (steal-schedule testing; results are unaffected)")
+	resume := flag.String("resume", "", "checkpoint journal directory: completed replicas spill here and a re-run resumes instead of restarting (implies -fleet 1)")
+	workerTimeout := flag.Duration("worker-timeout", 0, "liveness bound for -shards/-fleet workers (0 = backend default of 10m; negative disables)")
 	verbose := flag.Bool("v", false, "log every delivery (single replica only)")
 	flag.Parse()
 
@@ -241,8 +246,23 @@ func main() {
 	}
 
 	if *replicas > 1 {
-		ropts := qnet.ReplicaOptions{Replicas: *replicas, Workers: *workers, Seed: *seed}
-		if *shards > 0 {
+		ropts := qnet.ReplicaOptions{Replicas: *replicas, Workers: *workers, Seed: *seed, Timeout: *workerTimeout}
+		if *resume != "" && *fleet == 0 {
+			*fleet = 1 // only Fleet journals; resuming implies one
+		}
+		switch {
+		case *fleet > 0 && *shards > 0:
+			die("-fleet and -shards are exclusive: pick one backend")
+		case *fleet > 0:
+			eps := make([]runner.Endpoint, *fleet)
+			for i := range eps {
+				eps[i].Name = fmt.Sprintf("local-%d", i)
+			}
+			if *fleetThrottle > 0 {
+				eps[len(eps)-1].Throttle = *fleetThrottle
+			}
+			ropts.Backend = runner.Fleet{Endpoints: eps, Journal: *resume}
+		case *shards > 0:
 			ropts.Backend = runner.Subprocess{Shards: *shards}
 		}
 		ms, err := sc.RunReplicated(ropts)

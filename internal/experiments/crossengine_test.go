@@ -193,6 +193,10 @@ func TestWernerShardInvariance(t *testing.T) {
 		{"in-process-codec", runner.InProcess{}},
 		{"shards-1", runner.Subprocess{Shards: 1, Command: worker}},
 		{"shards-3", runner.Subprocess{Shards: 3, Command: worker}},
+		{"fleet-2", runner.Fleet{Endpoints: []runner.Endpoint{
+			{Name: "a", Command: worker},
+			{Name: "b", Command: worker},
+		}, ChunkSize: 1}},
 	}
 	want := render(backends[0].b)
 	for _, tc := range backends[1:] {

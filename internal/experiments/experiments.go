@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"qnp/internal/runner"
 	"qnp/internal/sim"
@@ -53,6 +54,10 @@ type Options struct {
 	// other figures always run exact: they measure fidelity-sensitive
 	// quantities the Werner approximation is not meant to reproduce.
 	Physics qnet.Physics
+	// Timeout is the Backend's liveness bound — the Subprocess inactivity
+	// watchdog or the Fleet heartbeat bound. 0 defers to the backend's own
+	// default; negative disables detection. In-process runs ignore it.
+	Timeout time.Duration
 }
 
 // DefaultOptions is the standard reproduction size.
@@ -200,11 +205,18 @@ func gridMap[T any](o Options, fig string, params any, g grid) []T {
 	}
 	out := make([]T, g.n)
 	var decErr error
-	err = o.Backend.Execute(o.runnerOpts(), gridKind, payload, g.n, func(i int, b []byte) {
-		if e := json.Unmarshal(b, &out[i]); e != nil && decErr == nil {
-			decErr = fmt.Errorf("experiments: decode %s result %d: %w", fig, i, e)
-		}
+	ex, err := o.Backend.Dispatch(runner.ExecRequest{
+		Kind: gridKind, Payload: payload, Replicas: g.n,
+		Options: o.runnerOpts(), Timeout: o.Timeout,
 	})
+	if err == nil {
+		for r := range ex.Results() {
+			if e := json.Unmarshal(r.Data, &out[r.Replica]); e != nil && decErr == nil {
+				decErr = fmt.Errorf("experiments: decode %s result %d: %w", fig, r.Replica, e)
+			}
+		}
+		err = ex.Wait()
+	}
 	if err == nil {
 		err = decErr
 	}

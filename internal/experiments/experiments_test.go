@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"qnp/internal/runner"
 	"qnp/internal/sim"
@@ -415,8 +416,9 @@ func TestMain(m *testing.M) {
 
 // TestShardCountInvariance extends worker-count invariance across the
 // Backend seam: figure aggregates must be byte-identical whether replicas
-// run on the in-process pool, through the in-process bytes codec, or
-// sharded over 1 or 3 worker processes.
+// run on the in-process pool, through the in-process bytes codec, sharded
+// over 1 or 3 worker processes, or work-stolen across a two-endpoint fleet
+// with one throttled host.
 func TestShardCountInvariance(t *testing.T) {
 	t.Parallel()
 	render := func(b runner.Backend) string {
@@ -447,6 +449,10 @@ func TestShardCountInvariance(t *testing.T) {
 		{"in-process-codec", runner.InProcess{}},
 		{"shards-1", runner.Subprocess{Shards: 1, Command: worker}},
 		{"shards-3", runner.Subprocess{Shards: 3, Command: worker}},
+		{"fleet-2", runner.Fleet{Endpoints: []runner.Endpoint{
+			{Name: "a", Command: worker},
+			{Name: "b", Command: worker, Throttle: 10 * time.Millisecond},
+		}, ChunkSize: 2}},
 	}
 	want := render(backends[0].b)
 	for _, tc := range backends[1:] {

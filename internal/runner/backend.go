@@ -58,19 +58,21 @@ func kindNames() []string {
 	return names
 }
 
-// A Backend executes the replicas of a registered job kind and delivers
-// each replica's encoded result to sink in strict replica order (the Stream
+// A Backend executes the replicas of a registered job kind. Dispatch
+// starts the run and returns an Execution whose Results channel streams
+// each replica's encoded result in strict replica order (the Stream
 // contract), so aggregate output is bit-identical regardless of where and
 // with how much parallelism the replicas actually ran. Replica i always
-// runs with DeriveSeed(o.Seed, i); o.Workers bounds the per-process
-// parallelism and never affects results.
+// runs with DeriveSeed(req.Options.Seed, i); req.Options.Workers bounds
+// per-process parallelism and never affects results.
 //
-// sink runs serialized on the calling goroutine's critical path and must
-// not call back into the backend. A replica whose KindFunc returns an error
-// fails the whole execution: kind errors are deterministic (the same bytes
-// fail everywhere), so no backend retries them.
+// Dispatch returns an error only for requests that cannot start at all
+// (unknown kind, unresolvable worker command, unusable journal); runtime
+// failures surface from Execution.Wait. A replica whose KindFunc returns
+// an error fails the whole execution: kind errors are deterministic (the
+// same bytes fail everywhere), so no backend retries them.
 type Backend interface {
-	Execute(o Options, kind string, payload []byte, replicas int, sink func(replica int, result []byte)) error
+	Dispatch(req ExecRequest) (*Execution, error)
 }
 
 // InProcess executes replicas on a goroutine pool inside the calling
@@ -80,15 +82,27 @@ type Backend interface {
 // API to skip encoding entirely.
 type InProcess struct{}
 
-// Execute implements Backend.
-func (InProcess) Execute(o Options, kind string, payload []byte, replicas int, sink func(replica int, result []byte)) error {
-	fn, err := lookupKind(kind)
+// Dispatch implements Backend.
+func (InProcess) Dispatch(req ExecRequest) (*Execution, error) {
+	fn, err := lookupKind(req.Kind)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	if req.Replicas <= 0 {
+		return completedExecution(nil), nil
+	}
+	e := newExecution(req.Replicas, nil)
+	go func() { e.finish(inProcessRun(fn, req, e.emit)) }()
+	return e, nil
+}
+
+// inProcessRun is the pool run behind InProcess.Dispatch, delivering
+// results to emit in strict replica order.
+func inProcessRun(fn KindFunc, req ExecRequest, emit func(replica int, result []byte)) error {
 	// A deterministic kind error dooms the run; cancel the pool so the
 	// remaining replicas stop claiming (Subprocess does the same for its
 	// sibling shards) instead of simulating results nobody will read.
+	o := req.Options
 	parent := o.Context
 	if parent == nil {
 		parent = context.Background()
@@ -103,19 +117,19 @@ func (InProcess) Execute(o Options, kind string, payload []byte, replicas int, s
 	// Stream serializes sink calls under its own lock, so firstErr needs no
 	// extra synchronization.
 	var firstErr error
-	serr := Stream(o, replicas, func(replica int, seed int64) res {
-		b, err := fn(payload, replica, seed)
+	serr := Stream(o, req.Replicas, func(replica int, seed int64) res {
+		b, err := fn(req.Payload, replica, seed)
 		return res{b, err}
 	}, func(replica int, v res) {
 		if v.err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("runner: %s replica %d: %w", kind, replica, v.err)
+				firstErr = fmt.Errorf("runner: %s replica %d: %w", req.Kind, replica, v.err)
 				cancel()
 			}
 			return
 		}
 		if firstErr == nil {
-			sink(replica, v.b)
+			emit(replica, v.b)
 		}
 	})
 	if firstErr != nil {

@@ -81,25 +81,41 @@ func init() {
 }
 
 // executeAll collects a backend run's results indexed by replica, failing
-// the test if sink order is not strictly ascending.
+// the test if the result stream is not strictly ascending.
 func executeAll(t *testing.T, b Backend, o Options, kind string, payload []byte, n int) [][]byte {
 	t.Helper()
+	ex, err := b.Dispatch(ExecRequest{Kind: kind, Payload: payload, Replicas: n, Options: o})
+	if err != nil {
+		t.Fatalf("%T.Dispatch: %v", b, err)
+	}
 	out := make([][]byte, n)
 	next := 0
-	err := b.Execute(o, kind, payload, n, func(replica int, result []byte) {
-		if replica != next {
-			t.Errorf("sink got replica %d, want %d (order must be strict)", replica, next)
+	for r := range ex.Results() {
+		if r.Replica != next {
+			t.Errorf("stream got replica %d, want %d (order must be strict)", r.Replica, next)
 		}
 		next++
-		out[replica] = append([]byte(nil), result...)
-	})
-	if err != nil {
-		t.Fatalf("%T.Execute: %v", b, err)
+		out[r.Replica] = append([]byte(nil), r.Data...)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatalf("%T run: %v", b, err)
 	}
 	if next != n {
-		t.Fatalf("sink saw %d of %d replicas", next, n)
+		t.Fatalf("stream delivered %d of %d replicas", next, n)
 	}
 	return out
+}
+
+// executeErr runs a job to completion, discarding results, and returns the
+// run's error.
+func executeErr(b Backend, o Options, kind string, payload []byte, n int) error {
+	ex, err := b.Dispatch(ExecRequest{Kind: kind, Payload: payload, Replicas: n, Options: o})
+	if err != nil {
+		return err
+	}
+	for range ex.Results() {
+	}
+	return ex.Wait()
 }
 
 func TestInProcessBackendMatchesKindFunc(t *testing.T) {
@@ -115,7 +131,8 @@ func TestInProcessBackendMatchesKindFunc(t *testing.T) {
 }
 
 func TestInProcessBackendUnknownKind(t *testing.T) {
-	err := InProcess{}.Execute(Options{}, "test.unregistered", nil, 1, func(int, []byte) {})
+	// An unknown kind is a request that cannot start: Dispatch itself fails.
+	_, err := InProcess{}.Dispatch(ExecRequest{Kind: "test.unregistered", Replicas: 1})
 	if err == nil || !strings.Contains(err.Error(), "unknown job kind") {
 		t.Fatalf("err = %v, want unknown-kind error", err)
 	}
@@ -147,14 +164,14 @@ func TestSubprocessProgressTicks(t *testing.T) {
 	var mu sync.Mutex
 	var ticks []int
 	sp := Subprocess{Shards: 3, Command: testWorkerCmd()}
-	err := sp.Execute(Options{Seed: 1, Progress: func(done, total int) {
+	err := executeErr(sp, Options{Seed: 1, Progress: func(done, total int) {
 		mu.Lock()
 		defer mu.Unlock()
 		if total != n {
 			t.Errorf("progress total = %d, want %d", total, n)
 		}
 		ticks = append(ticks, done)
-	}}, "test.echo", []byte(`"pg"`), n, func(int, []byte) {})
+	}}, "test.echo", []byte(`"pg"`), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +209,7 @@ func TestSubprocessCrashMidShardIsRetried(t *testing.T) {
 func TestSubprocessPersistentCrashFailsTheRun(t *testing.T) {
 	payload, _ := json.Marshal(2)
 	sp := Subprocess{Shards: 2, Command: testWorkerCmd()}
-	err := sp.Execute(Options{Seed: 1}, "test.crash-always", payload, 6, func(int, []byte) {})
+	err := executeErr(sp, Options{Seed: 1}, "test.crash-always", payload, 6)
 	if err == nil {
 		t.Fatal("run succeeded despite a deterministic worker crash")
 	}
@@ -205,7 +222,7 @@ func TestSubprocessPersistentCrashFailsTheRun(t *testing.T) {
 func TestSubprocessKindErrorFailsWithoutRetry(t *testing.T) {
 	payload, _ := json.Marshal(3)
 	sp := Subprocess{Shards: 1, Command: testWorkerCmd()}
-	err := sp.Execute(Options{Seed: 1}, "test.fail", payload, 5, func(int, []byte) {})
+	err := executeErr(sp, Options{Seed: 1}, "test.fail", payload, 5)
 	if err == nil || !strings.Contains(err.Error(), "synthetic kind failure") {
 		t.Fatalf("err = %v, want the replica's own failure", err)
 	}
@@ -217,7 +234,7 @@ func TestSubprocessKindErrorFailsWithoutRetry(t *testing.T) {
 func TestSubprocessInactivityTimeout(t *testing.T) {
 	sp := Subprocess{Shards: 1, Command: testWorkerCmd(), Timeout: 300 * time.Millisecond, Retries: -1}
 	start := time.Now()
-	err := sp.Execute(Options{Seed: 1}, "test.hang", nil, 1, func(int, []byte) {})
+	err := executeErr(sp, Options{Seed: 1}, "test.hang", nil, 1)
 	if err == nil || !strings.Contains(err.Error(), "no frame for") {
 		t.Fatalf("err = %v, want an inactivity-timeout error", err)
 	}
@@ -230,7 +247,7 @@ func TestSubprocessContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	sp := Subprocess{Shards: 2, Command: testWorkerCmd()}
-	err := sp.Execute(Options{Seed: 1, Context: ctx}, "test.echo", []byte(`"c"`), 8, func(int, []byte) {})
+	err := executeErr(sp, Options{Seed: 1, Context: ctx}, "test.echo", []byte(`"c"`), 8)
 	if err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeprecatedExecuteWrapper pins the compatibility contract: the old
+// positional Execute keeps working on top of Dispatch — same results, same
+// strict order, same error surface.
+func TestDeprecatedExecuteWrapper(t *testing.T) {
+	const n = 7
+	payload := []byte(`"wrap"`)
+	want := executeAll(t, InProcess{}, Options{Seed: 3}, "test.echo", payload, n)
+	next := 0
+	//lint:ignore SA1019 the deprecated wrapper is exactly what this test pins
+	err := Execute(InProcess{}, Options{Seed: 3}, "test.echo", payload, n, func(replica int, result []byte) {
+		if replica != next {
+			t.Errorf("sink got replica %d, want %d", replica, next)
+		}
+		if string(result) != string(want[replica]) {
+			t.Errorf("replica %d = %s, want %s", replica, result, want[replica])
+		}
+		next++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("sink saw %d of %d replicas", next, n)
+	}
+
+	//lint:ignore SA1019 error passthrough of the deprecated wrapper
+	err = Execute(InProcess{}, Options{}, "test.unregistered", nil, 1, func(int, []byte) {})
+	if err == nil || !strings.Contains(err.Error(), "unknown job kind") {
+		t.Fatalf("err = %v, want unknown-kind error", err)
+	}
+}
+
+// TestTimeoutResolution pins the one-knob liveness contract: the request's
+// Timeout wins, then the backend's configured default, then the package
+// default; negative at either level disables the watchdog.
+func TestTimeoutResolution(t *testing.T) {
+	for _, tc := range []struct {
+		req, backend, want time.Duration
+	}{
+		{0, 0, defaultShardTimeout},
+		{0, time.Minute, time.Minute},
+		{time.Second, time.Minute, time.Second},
+		{time.Second, 0, time.Second},
+		{-1, time.Minute, 0},
+		{-1, 0, 0},
+		{0, -1, 0},
+	} {
+		got := ExecRequest{Timeout: tc.req}.timeout(tc.backend)
+		if got != tc.want {
+			t.Errorf("timeout(req=%v, backend=%v) = %v, want %v", tc.req, tc.backend, got, tc.want)
+		}
+	}
+}
+
+// TestRequestTimeoutOverridesBackend: an ExecRequest.Timeout beats the
+// backend's own (here uselessly long) watchdog setting.
+func TestRequestTimeoutOverridesBackend(t *testing.T) {
+	sp := Subprocess{Shards: 1, Command: testWorkerCmd(), Timeout: time.Hour, Retries: -1}
+	ex, err := sp.Dispatch(ExecRequest{Kind: "test.hang", Replicas: 1, Options: Options{Seed: 1}, Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for range ex.Results() {
+	}
+	err = ex.Wait()
+	if err == nil || !strings.Contains(err.Error(), "no frame for 300ms") {
+		t.Fatalf("err = %v, want the request-level 300ms watchdog to fire", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("timeout took %v to fire", elapsed)
+	}
+}
+
+// TestExecutionProgressAndLeases: the pull-style Execution observers. The
+// stream-side Progress counts emitted results; backends without lease
+// state answer Leases with nil.
+func TestExecutionProgressAndLeases(t *testing.T) {
+	const n = 5
+	ex, err := InProcess{}.Dispatch(ExecRequest{Kind: "test.echo", Payload: []byte(`"o"`), Replicas: n, Options: Options{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Leases() != nil {
+		t.Error("InProcess execution reports leases; only Fleet has lease state")
+	}
+	seen := 0
+	for r := range ex.Results() {
+		seen++
+		done, total := ex.Progress()
+		if total != n {
+			t.Fatalf("Progress total = %d, want %d", total, n)
+		}
+		if done < seen {
+			t.Fatalf("after receiving replica %d, Progress done = %d < %d received", r.Replica, done, seen)
+		}
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := ex.Progress(); done != n {
+		t.Errorf("final Progress done = %d, want %d", done, n)
+	}
+}
+
+// TestWaitWithoutDraining: the results channel is buffered for the full
+// replica count, so Wait without consuming Results must not deadlock.
+func TestWaitWithoutDraining(t *testing.T) {
+	const n = 50
+	ex, err := InProcess{}.Dispatch(ExecRequest{Kind: "test.echo", Payload: []byte(`"d"`), Replicas: n, Options: Options{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for r := range ex.Results() {
+		want, _ := json.Marshal(fmt.Sprintf(`"d"/r%d/s%d`, i, DeriveSeed(4, i)))
+		if r.Replica != i || string(r.Data) != string(want) {
+			t.Fatalf("post-Wait result %d = {%d %s}, want {%d %s}", i, r.Replica, r.Data, i, want)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("drained %d of %d buffered results after Wait", i, n)
+	}
+}

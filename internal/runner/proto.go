@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
 // The shard worker protocol: every message is a frame of a 4-byte
@@ -35,6 +36,13 @@ type jobFrame struct {
 	Start, Count int
 	// Workers bounds the shard's in-process parallelism (0 = NumCPU).
 	Workers int
+	// Heartbeat, when positive, asks the worker to interleave a heartbeat
+	// frame at this interval while replicas are in flight — the Fleet
+	// liveness protocol, which tolerates replicas longer than the liveness
+	// bound while still detecting dead processes and partitioned hosts.
+	// Zero keeps the classic results-only stream (Subprocess), where the
+	// result frames themselves are the liveness signal.
+	Heartbeat time.Duration `json:",omitempty"`
 }
 
 // resultFrame is one replica's worker→parent answer.
@@ -46,6 +54,9 @@ type resultFrame struct {
 	// Err reports a KindFunc error. Kind errors are deterministic, so the
 	// parent fails the run rather than retrying the shard.
 	Err string `json:",omitempty"`
+	// Heartbeat marks a liveness-only frame: no replica, no result — it
+	// exists solely to reset the reader's watchdog (see jobFrame.Heartbeat).
+	Heartbeat bool `json:",omitempty"`
 }
 
 // writeFrame encodes v as JSON and writes it length-prefixed.

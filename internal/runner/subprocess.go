@@ -38,8 +38,11 @@ type Subprocess struct {
 	// Env is extra environment appended to the parent's for each worker.
 	Env []string
 	// Timeout is the per-shard inactivity limit: a worker that produces no
-	// frame for this long is killed and the shard retried. 0 means the
-	// 10-minute default; negative disables the watchdog.
+	// frame for this long is killed and the shard retried. Result frames
+	// are the only liveness signal here (a stuck replica IS a stuck
+	// shard), unlike Fleet's explicit heartbeats. ExecRequest.Timeout,
+	// when set, overrides this; 0 means the 10-minute default; negative
+	// disables the watchdog.
 	Timeout time.Duration
 	// Retries is how many times a crashed shard is re-run (0 = the default
 	// single retry; negative disables retries).
@@ -60,16 +63,6 @@ func (s Subprocess) shards(replicas int) int {
 		n = 1
 	}
 	return n
-}
-
-func (s Subprocess) timeout() time.Duration {
-	if s.Timeout < 0 {
-		return 0
-	}
-	if s.Timeout == 0 {
-		return defaultShardTimeout
-	}
-	return s.Timeout
 }
 
 func (s Subprocess) retries() int {
@@ -157,15 +150,25 @@ type kindError struct{ err error }
 
 func (e kindError) Error() string { return e.err.Error() }
 
-// Execute implements Backend.
-func (s Subprocess) Execute(o Options, kind string, payload []byte, replicas int, sink func(replica int, result []byte)) error {
-	if replicas <= 0 {
-		return nil
+// Dispatch implements Backend.
+func (s Subprocess) Dispatch(req ExecRequest) (*Execution, error) {
+	if req.Replicas <= 0 {
+		return completedExecution(nil), nil
 	}
 	argv, err := s.command()
 	if err != nil {
-		return err
+		return nil, err
 	}
+	e := newExecution(req.Replicas, nil)
+	go func() { e.finish(s.run(argv, req, e.emit)) }()
+	return e, nil
+}
+
+// run is the sharded execution behind Dispatch, delivering results to emit
+// in strict replica order.
+func (s Subprocess) run(argv []string, req ExecRequest, emit func(replica int, result []byte)) error {
+	o, replicas := req.Options, req.Replicas
+	timeout := req.timeout(s.Timeout)
 	parent := o.Context
 	if parent == nil {
 		parent = context.Background()
@@ -184,7 +187,7 @@ func (s Subprocess) Execute(o Options, kind string, payload []byte, replicas int
 			}
 		}
 	}
-	coll := newCollector(replicas, sink, progress)
+	coll := newCollector(replicas, emit, progress)
 
 	// Divide the in-process parallelism budget across the shards so N
 	// worker processes on one box don't oversubscribe it N-fold. Workers
@@ -218,7 +221,7 @@ func (s Subprocess) Execute(o Options, kind string, payload []byte, replicas int
 				if ctx.Err() != nil {
 					return
 				}
-				lastErr = s.runShard(ctx, argv, o, kind, payload, r, coll)
+				lastErr = s.runShard(ctx, argv, o, req, r, coll, timeout)
 				if lastErr == nil {
 					return
 				}
@@ -243,7 +246,7 @@ func (s Subprocess) Execute(o Options, kind string, payload []byte, replicas int
 
 // runShard spawns one worker process for a replica range and feeds its
 // results to the collector as frames arrive.
-func (s Subprocess) runShard(ctx context.Context, argv []string, o Options, kind string, payload []byte, r shardRange, coll *collector) error {
+func (s Subprocess) runShard(ctx context.Context, argv []string, o Options, req ExecRequest, r shardRange, coll *collector, timeout time.Duration) error {
 	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
 	cmd.Env = append(os.Environ(), s.Env...)
 	var stderr boundedBuffer
@@ -264,28 +267,31 @@ func (s Subprocess) runShard(ctx context.Context, argv []string, o Options, kind
 	// worker, which surfaces below as a read error on stdout.
 	var timedOut atomic.Bool
 	var watchdog *time.Timer
-	if d := s.timeout(); d > 0 {
-		watchdog = time.AfterFunc(d, func() {
+	if timeout > 0 {
+		watchdog = time.AfterFunc(timeout, func() {
 			timedOut.Store(true)
 			cmd.Process.Kill()
 		})
 	}
 
 	loopErr := func() error {
-		job := jobFrame{Kind: kind, Payload: payload, Seed: o.Seed, Start: r.start, Count: r.count, Workers: o.Workers}
+		job := jobFrame{Kind: req.Kind, Payload: req.Payload, Seed: o.Seed, Start: r.start, Count: r.count, Workers: o.Workers}
 		if err := writeFrame(stdin, job); err != nil {
 			return fmt.Errorf("send job: %w", err)
 		}
 		stdin.Close()
 
 		br := bufio.NewReader(stdout)
-		for seen := 0; seen < r.count; seen++ {
+		for seen := 0; seen < r.count; {
 			var f resultFrame
 			if err := readFrame(br, &f); err != nil {
 				return fmt.Errorf("worker stream ended after %d/%d results: %w", seen, r.count, err)
 			}
 			if watchdog != nil {
-				watchdog.Reset(s.timeout())
+				watchdog.Reset(timeout)
+			}
+			if f.Heartbeat {
+				continue
 			}
 			if f.Replica < r.start || f.Replica >= r.start+r.count {
 				return fmt.Errorf("worker answered for replica %d outside its range [%d,%d)", f.Replica, r.start, r.start+r.count)
@@ -294,6 +300,7 @@ func (s Subprocess) runShard(ctx context.Context, argv []string, o Options, kind
 				return kindError{fmt.Errorf("replica %d: %s", f.Replica, f.Err)}
 			}
 			coll.add(f.Replica, f.Result)
+			seen++
 		}
 		return nil
 	}()
@@ -315,7 +322,7 @@ func (s Subprocess) runShard(ctx context.Context, argv []string, o Options, kind
 			return fatal
 		}
 		if timedOut.Load() {
-			return fmt.Errorf("worker produced no frame for %v (%s)", s.timeout(), stderrNote(&stderr))
+			return fmt.Errorf("worker produced no frame for %v (%s)", timeout, stderrNote(&stderr))
 		}
 		return fmt.Errorf("%w (%s)", loopErr, stderrNote(&stderr))
 	case waitErr != nil:

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 )
 
 // WorkerFlag is the hidden argv sentinel that switches a binary into shard
@@ -34,6 +36,11 @@ func MaybeWorker() {
 // the shard (global index Start+i) runs with DeriveSeed(Seed, Start+i) —
 // the same seed it would get in-process, which is what makes sharded runs
 // bit-identical.
+//
+// Every frame is flushed as it is written, so the parent's watchdog sees
+// results the moment they exist; when the job asks for heartbeats
+// (jobFrame.Heartbeat > 0) a ticker interleaves liveness-only frames with
+// the results under the same write lock.
 func WorkerMain(r io.Reader, w io.Writer) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
@@ -48,30 +55,57 @@ func WorkerMain(r io.Reader, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var wmu sync.Mutex
+	var writeErr error
+	put := func(f resultFrame) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if writeErr != nil {
+			return
+		}
+		if writeErr = writeFrame(bw, f); writeErr == nil {
+			writeErr = bw.Flush()
+		}
+	}
+	stopHeartbeat := func() {}
+	if job.Heartbeat > 0 {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(job.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					put(resultFrame{Heartbeat: true})
+				case <-stop:
+					return
+				}
+			}
+		}()
+		stopHeartbeat = func() { close(stop); <-done }
+	}
 	type res struct {
 		b   []byte
 		err error
 	}
-	var writeErr error
 	err = Stream(Options{Workers: job.Workers, Seed: job.Seed}, job.Count, func(i int, _ int64) res {
 		replica := job.Start + i
 		b, err := fn(job.Payload, replica, DeriveSeed(job.Seed, replica))
 		return res{b, err}
 	}, func(i int, v res) {
-		if writeErr != nil {
-			return
-		}
 		f := resultFrame{Replica: job.Start + i, Result: v.b}
 		if v.err != nil {
 			f.Err = v.err.Error()
 		}
-		writeErr = writeFrame(bw, f)
+		put(f)
 	})
+	// Stop the ticker before reading writeErr: after stopHeartbeat returns
+	// no goroutine writes frames, so the read below is race-free.
+	stopHeartbeat()
 	if err != nil {
 		return err
 	}
-	if writeErr != nil {
-		return writeErr
-	}
-	return bw.Flush()
+	return writeErr
 }

@@ -190,6 +190,10 @@ func TestPlacementDeterminismAcrossBackends(t *testing.T) {
 		"in-process": runner.InProcess{},
 		"shards-1":   runner.Subprocess{Shards: 1, Command: []string{os.Args[0], runner.WorkerFlag}},
 		"shards-3":   runner.Subprocess{Shards: 3, Command: []string{os.Args[0], runner.WorkerFlag}},
+		"fleet-2": runner.Fleet{Endpoints: []runner.Endpoint{
+			{Name: "a", Command: []string{os.Args[0], runner.WorkerFlag}},
+			{Name: "b", Command: []string{os.Args[0], runner.WorkerFlag}},
+		}, ChunkSize: 1},
 	}
 	for name, b := range backends {
 		got, err := sc.RunReplicated(opts(b))

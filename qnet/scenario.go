@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"qnp/internal/hardware"
 	"qnp/internal/runner"
@@ -792,6 +793,10 @@ type ReplicaOptions struct {
 	// backend-independent, so the metrics are bit-identical to an
 	// in-process run for any backend, shard count or worker count.
 	Backend runner.Backend
+	// Timeout is the Backend's liveness bound — the Subprocess inactivity
+	// watchdog or the Fleet heartbeat bound. 0 defers to the backend's own
+	// default; negative disables detection. In-process runs ignore it.
+	Timeout time.Duration
 }
 
 // RunReplicated fans independent replicas of the scenario across a worker

@@ -57,7 +57,7 @@ func runScenarioJob(payload []byte, _ int, seed int64) ([]byte, error) {
 // replicas out, decode the metrics in strict replica order.
 func (sc Scenario) runReplicatedOn(o ReplicaOptions) ([]*Metrics, error) {
 	// RunReplicated replaces any per-scenario Context with o.Context on the
-	// in-process path; mirror that here (o.Context cancels Execute
+	// in-process path; mirror that here (o.Context cancels the dispatch
 	// parent-side) so a set Context doesn't spuriously fail Spec.
 	sc.Context = nil
 	spec, err := sc.Spec()
@@ -69,22 +69,31 @@ func (sc Scenario) runReplicatedOn(o ReplicaOptions) ([]*Metrics, error) {
 		return nil, fmt.Errorf("qnet: encode ScenarioSpec: %w", err)
 	}
 	out := make([]*Metrics, o.Replicas)
-	ropts := runner.Options{Workers: o.Workers, Seed: o.Seed, Progress: o.Progress, Context: o.Context}
-	var decodeErr error
-	execErr := o.Backend.Execute(ropts, ScenarioJobKind, payload, o.Replicas, func(replica int, result []byte) {
-		m := new(Metrics)
-		if err := json.Unmarshal(result, m); err != nil {
-			if decodeErr == nil {
-				decodeErr = fmt.Errorf("qnet: decode replica %d metrics: %w", replica, err)
-			}
-			return
-		}
-		out[replica] = m
+	ex, err := o.Backend.Dispatch(runner.ExecRequest{
+		Kind:     ScenarioJobKind,
+		Payload:  payload,
+		Replicas: o.Replicas,
+		Options:  runner.Options{Workers: o.Workers, Seed: o.Seed, Progress: o.Progress, Context: o.Context},
+		Timeout:  o.Timeout,
 	})
+	if err != nil {
+		return nil, err
+	}
+	var decodeErr error
+	for r := range ex.Results() {
+		m := new(Metrics)
+		if err := json.Unmarshal(r.Data, m); err != nil {
+			if decodeErr == nil {
+				decodeErr = fmt.Errorf("qnet: decode replica %d metrics: %w", r.Replica, err)
+			}
+			continue
+		}
+		out[r.Replica] = m
+	}
 	if decodeErr != nil {
 		return out, decodeErr
 	}
-	return out, execErr
+	return out, ex.Wait()
 }
 
 // PluginRef names a registered workload or selector on the wire, with its

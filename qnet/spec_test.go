@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"qnp/internal/quantum"
 	"qnp/internal/runner"
@@ -267,7 +268,8 @@ func shardedScenario() Scenario {
 
 // TestRunReplicatedBackendEquivalence is the scenario-level shard-count
 // invariance proof: the in-process pool, the InProcess backend (bytes
-// codec, same process) and Subprocess at several shard counts must produce
+// codec, same process), Subprocess at several shard counts, and a
+// work-stealing Fleet (uniform and with a throttled endpoint) must produce
 // bit-identical metrics in identical order.
 func TestRunReplicatedBackendEquivalence(t *testing.T) {
 	sc := shardedScenario()
@@ -283,10 +285,15 @@ func TestRunReplicatedBackendEquivalence(t *testing.T) {
 	for i, m := range want {
 		wantJSON[i] = metricsJSON(t, m)
 	}
+	worker := []string{os.Args[0], runner.WorkerFlag}
 	backends := map[string]runner.Backend{
 		"in-process": runner.InProcess{},
-		"shards-1":   runner.Subprocess{Shards: 1, Command: []string{os.Args[0], runner.WorkerFlag}},
-		"shards-3":   runner.Subprocess{Shards: 3, Command: []string{os.Args[0], runner.WorkerFlag}},
+		"shards-1":   runner.Subprocess{Shards: 1, Command: worker},
+		"shards-3":   runner.Subprocess{Shards: 3, Command: worker},
+		"fleet-2": runner.Fleet{Endpoints: []runner.Endpoint{
+			{Name: "a", Command: worker},
+			{Name: "b", Command: worker, Throttle: 20 * time.Millisecond},
+		}, ChunkSize: 2},
 	}
 	for name, b := range backends {
 		got, err := sc.RunReplicated(opts(b))
