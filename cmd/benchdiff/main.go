@@ -181,7 +181,7 @@ func runCompare(oldPath, newPath string, threshold float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	var names []string
+	var names, missing []string
 	ok := true
 	for name := range oldF.Benchmarks {
 		if _, present := newF.Benchmarks[name]; present {
@@ -189,9 +189,13 @@ func runCompare(oldPath, newPath string, threshold float64) (bool, error) {
 		} else {
 			// A benchmark that vanished is a failure, not a warning: a
 			// crashed or renamed bench must not slip past the gate green.
-			fmt.Printf("FAIL  %-32s missing from %s\n", name, newPath)
+			missing = append(missing, name)
 			ok = false
 		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("FAIL  %-32s missing from %s\n", name, newPath)
 	}
 	// Benchmarks present only in the new run are reported, not gated:
 	// freshly added benches have no baseline to regress against, but

@@ -1,0 +1,286 @@
+// qnetlint is the simulator's static-analysis suite (package
+// qnp/internal/lint) packaged as a go vet tool. It speaks the cmd/go
+// vettool protocol directly — no external analysis framework — so it works
+// both ways:
+//
+//	go build -o bin/qnetlint ./cmd/qnetlint
+//	go vet -vettool=$PWD/bin/qnetlint ./...   # as a vettool
+//	bin/qnetlint ./...                        # re-execs go vet for you
+//
+// Each analyzer has a boolean flag (-detrand=false, ...) to disable it.
+// Diagnostics go to stderr as file:line:col: message [analyzer]; the exit
+// status is 2 when any diagnostic fired, matching go vet's convention.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+
+	"qnp/internal/lint"
+	"qnp/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("qnetlint", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (-V=full for the go toolchain)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit (go vet protocol)")
+	enabled := map[string]*bool{}
+	for _, a := range lint.Analyzers() {
+		doc := a.Doc
+		for i, r := range doc {
+			if r == '\n' {
+				doc = doc[:i]
+				break
+			}
+		}
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" check: "+doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		return printVersion(*versionFlag)
+	}
+	if *flagsFlag {
+		return printFlagsJSON(enabled)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && len(args[0]) > 4 && args[0][len(args[0])-4:] == ".cfg" {
+		return checkConfig(args[0], enabled)
+	}
+	// Invoked directly on package patterns: let go vet drive us.
+	return reexecGoVet(args)
+}
+
+// printVersion implements the -V flag. cmd/go demands the exact shape
+// `<name> version devel buildID=<hex>` (or a release version string) to key
+// its action cache on the tool's identity; hash our own binary.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("qnetlint version devel")
+		return 0
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qnetlint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qnetlint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "qnetlint: %v\n", err)
+		return 1
+	}
+	fmt.Printf("qnetlint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}
+
+// printFlagsJSON implements -flags: cmd/go asks the tool which flags it
+// supports before forwarding any.
+func printFlagsJSON(enabled map[string]*bool) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range lint.Analyzers() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " check"})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qnetlint: %v\n", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg for each
+// package unit (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// checkConfig runs the suite over one package unit described by a vet.cfg.
+func checkConfig(cfgPath string, enabled map[string]*bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qnetlint: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "qnetlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for cross-package facts; qnetlint keeps
+		// no facts, so there is nothing to do.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "qnetlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the export data cmd/go already built for every
+	// import, resolving through the unit's ImportMap exactly like the
+	// compiler invocation did.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:    types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:    func(error) {}, // keep going; Check returns the first error
+	}
+	if cfg.GoVersion != "" {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "qnetlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	type diag struct {
+		pos      token.Position
+		analyzer string
+		message  string
+	}
+	var diags []diag
+	for _, a := range lint.Analyzers() {
+		if on, ok := enabled[a.Name]; ok && !*on {
+			continue
+		}
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, diag{pos: fset.Position(d.Pos), analyzer: a.Name, message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "qnetlint: %s: %v\n", a.Name, err)
+			return 1
+		}
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	// Deterministic output order regardless of analyzer internals.
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.message < b.message
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.pos, d.message, d.analyzer)
+	}
+	return 2
+}
+
+// reexecGoVet lets `qnetlint ./...` work standalone by re-invoking go vet
+// with itself as the vettool.
+func reexecGoVet(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qnetlint: %v\n", err)
+		return 1
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "qnetlint: %v\n", err)
+		return 1
+	}
+	return 0
+}

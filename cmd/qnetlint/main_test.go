@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qnp/internal/lint"
+)
+
+// capture redirects one of the process streams while fn runs and returns
+// what fn wrote to it.
+func capture(t *testing.T, stream **os.File, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := *stream
+	*stream = w
+	defer func() { *stream = orig }()
+	fn()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func allEnabled() map[string]*bool {
+	enabled := map[string]*bool{}
+	for _, a := range lint.Analyzers() {
+		on := true
+		enabled[a.Name] = &on
+	}
+	return enabled
+}
+
+// The -flags protocol answer must advertise every analyzer as a boolean
+// flag, or cmd/go refuses to forward -detrand=false and friends.
+func TestFlagsJSONListsEveryAnalyzer(t *testing.T) {
+	out := capture(t, &os.Stdout, func() {
+		if code := printFlagsJSON(allEnabled()); code != 0 {
+			t.Errorf("printFlagsJSON = %d, want 0", code)
+		}
+	})
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal([]byte(out), &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out)
+	}
+	byName := map[string]bool{}
+	for _, f := range flags {
+		if !f.Bool {
+			t.Errorf("flag %s is not boolean", f.Name)
+		}
+		byName[f.Name] = true
+	}
+	for _, a := range lint.Analyzers() {
+		if !byName[a.Name] {
+			t.Errorf("-flags output is missing analyzer %s", a.Name)
+		}
+	}
+}
+
+// -V=full must print the exact `name version devel buildID=<hex>` shape
+// cmd/go keys its action cache on.
+func TestVersionLineShape(t *testing.T) {
+	out := capture(t, &os.Stdout, func() {
+		if code := printVersion("full"); code != 0 {
+			t.Errorf("printVersion = %d, want 0", code)
+		}
+	})
+	if !strings.HasPrefix(out, "qnetlint version devel buildID=") {
+		t.Fatalf("-V=full printed %q", out)
+	}
+	id := strings.TrimSpace(strings.TrimPrefix(out, "qnetlint version devel buildID="))
+	if len(id) != 64 {
+		t.Errorf("buildID %q is not a sha256 hex digest", id)
+	}
+}
+
+// writeCfg marshals a vetConfig next to the unit's sources.
+func writeCfg(t *testing.T, dir string, cfg vetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A VetxOnly unit is visited for cross-package facts only; qnetlint keeps
+// none and must exit clean without touching the files.
+func TestCheckConfigVetxOnly(t *testing.T) {
+	path := writeCfg(t, t.TempDir(), vetConfig{VetxOnly: true, GoFiles: []string{"does-not-exist.go"}})
+	if code := checkConfig(path, allEnabled()); code != 0 {
+		t.Fatalf("VetxOnly unit exited %d, want 0", code)
+	}
+}
+
+// End-to-end over one import-free unit: a finding prints in go vet's
+// file:line:col format, tagged with its analyzer, and exits 2; disabling
+// that analyzer's flag silences it.
+func TestCheckConfigReportsFindings(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "stride.go")
+	code := "package sim\n\nfunc stride(base int64) int64 {\n\treturn base * 7919\n}\n"
+	if err := os.WriteFile(src, []byte(code), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := writeCfg(t, dir, vetConfig{
+		ID:         "qnp/internal/sim",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "qnp/internal/sim",
+		GoFiles:    []string{src},
+		GoVersion:  "go1.21",
+	})
+
+	enabled := allEnabled()
+	var exit int
+	out := capture(t, &os.Stderr, func() { exit = checkConfig(path, enabled) })
+	if exit != 2 {
+		t.Fatalf("checkConfig = %d, want 2; stderr:\n%s", exit, out)
+	}
+	if !strings.Contains(out, "stride.go:4:") || !strings.Contains(out, "bare 7919") || !strings.Contains(out, "[streamoffset]") {
+		t.Errorf("diagnostic line malformed:\n%s", out)
+	}
+
+	*enabled["streamoffset"] = false
+	out = capture(t, &os.Stderr, func() { exit = checkConfig(path, enabled) })
+	if exit != 0 || out != "" {
+		t.Errorf("with -streamoffset=false: exit %d, stderr %q; want 0 and silence", exit, out)
+	}
+}

@@ -93,9 +93,13 @@ func main() {
 	default:
 		die("unknown allocation policy %q (want count, model or static)", *alloc)
 	}
-	// The deprecated bool is honoured only while -alloc is left at its
-	// default (Config.allocPolicy resolves the precedence).
-	cfg.StaticAllocation = *staticAlloc
+	// The deprecated flag is honoured only while -alloc is left at its
+	// count-split default — same precedence Config gives the deprecated
+	// StaticAllocation field, resolved here at the CLI edge so the config
+	// itself stays on the Alloc enum.
+	if *staticAlloc && cfg.Alloc == qnet.AllocCountSplit {
+		cfg.Alloc = qnet.AllocStatic
+	}
 	if *paths < 1 {
 		die("-paths must be ≥ 1 (got %d)", *paths)
 	}

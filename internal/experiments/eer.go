@@ -68,11 +68,13 @@ func eerAllocation() float64 {
 	cfg := qnet.DefaultConfig()
 	cfg.EnforceEER = true
 	net := qnet.Dumbbell(cfg)
-	plan, err := net.Controller.PlanCircuit("A0", "B0", eerTargetF, qnet.CutoffShort, 0)
+	dec, _, err := net.Controller.Place(qnet.PlacementRequest{
+		Src: "A0", Dst: "B0", Fidelity: eerTargetF, Cutoff: qnet.CutoffShort, Probe: true,
+	})
 	if err != nil {
 		panic(err)
 	}
-	return plan.MaxEER
+	return dec.Plan.MaxEER
 }
 
 // eerGrid derives the replica grid from (Options, params) alone.

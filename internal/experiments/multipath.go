@@ -72,11 +72,13 @@ func multipathRef() float64 {
 	cfg := qnet.DefaultConfig()
 	cfg.EnforceEER = true
 	net := qnet.Dumbbell(cfg)
-	plan, err := net.Controller.PlanCircuit("A0", "B0", multipathTargetF, qnet.CutoffShort, 0)
+	dec, _, err := net.Controller.Place(qnet.PlacementRequest{
+		Src: "A0", Dst: "B0", Fidelity: multipathTargetF, Cutoff: qnet.CutoffShort, Probe: true,
+	})
 	if err != nil {
 		panic(err)
 	}
-	return plan.MaxEER
+	return dec.Plan.MaxEER
 }
 
 // Per-testbed demand as a fraction of the three-hop reference allocation.

@@ -1,0 +1,19 @@
+package analysis
+
+import "testing"
+
+func TestReportfFormatsAndDelivers(t *testing.T) {
+	var got []Diagnostic
+	p := &Pass{Report: func(d Diagnostic) { got = append(got, d) }}
+	p.Reportf(42, "offset %d is %s", 3, "odd")
+	p.Reportf(7, "plain")
+	if len(got) != 2 {
+		t.Fatalf("delivered %d diagnostics, want 2", len(got))
+	}
+	if got[0].Pos != 42 || got[0].Message != "offset 3 is odd" {
+		t.Errorf("first diagnostic = {%v %q}", got[0].Pos, got[0].Message)
+	}
+	if got[1].Pos != 7 || got[1].Message != "plain" {
+		t.Errorf("second diagnostic = {%v %q}", got[1].Pos, got[1].Message)
+	}
+}

@@ -1,0 +1,121 @@
+// Package lint is qnetlint: the simulator's own static-analysis suite.
+//
+// The paper's protocol evaluation rests on deterministic discrete-event
+// simulation — same seed, same event timeline, byte-identical figure output
+// — and the project history shows every regression class that threatened it
+// (map-iteration float ordering, RNG stream aliasing, workspace Get/Put
+// leaks, allocating wrappers creeping back into hot paths) was caught only
+// after the fact by byte-identity CI runs. This package encodes those
+// conventions as compile-time checks instead of reviewer lore. Six
+// analyzers:
+//
+//   - detrand: simulation packages must not read wall-clock time or the
+//     global math/rand source. All randomness flows from the replica seed.
+//   - maporder: a `for range` over a map must not accumulate floats, emit
+//     output, feed the stats aggregators, or build an unsorted slice — map
+//     order is random per run, so any order-sensitive fold diverges
+//     between replicas and shards.
+//   - wsownership: a linalg.Workspace.Get/GetRaw result must be Put back,
+//     deferred, or visibly handed off (returned, stored in a field) on
+//     every path out of the function — the PR 3 ownership rules.
+//   - hotalloc: inside workspace-threaded functions in hot-path packages,
+//     calls to an allocating API whose …Into/…W twin exists are flagged.
+//   - nodeprecated: internal code must not call the deprecated shims
+//     (positional runner.Execute, Controller.Admit/PlanCircuit,
+//     Config.StaticAllocation); each keeps exactly one intentionally
+//     covered test, marked //qnetlint:allow nodeprecated <reason>.
+//   - streamoffset: RNG stream offsets must come from the qnet stream
+//     registry (named *StreamOffset constants/helpers, engine offsets even
+//     and nonzero) and seed arithmetic must go through runner.SeedStride /
+//     runner.DeriveSeed — never a bare 7919 or literal offset.
+//
+// Escape hatches use the //qnetlint: comment grammar (see directives.go):
+// `//qnetlint:allow <analyzer> <reason>` on or directly above the flagged
+// line, and `//qnetlint:sorted <reason>` for maporder. A reason is
+// mandatory; a naked directive is itself a diagnostic.
+//
+// Run the suite with the multichecker binary:
+//
+//	go build -o bin/qnetlint ./cmd/qnetlint
+//	go vet -vettool=$PWD/bin/qnetlint ./...
+//
+// or let the binary re-exec go vet for you: `bin/qnetlint ./...`.
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"qnp/internal/lint/analysis"
+)
+
+// Analyzers returns the full qnetlint suite in its canonical order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DetRandAnalyzer,
+		MapOrderAnalyzer,
+		WSOwnershipAnalyzer,
+		HotAllocAnalyzer,
+		NoDeprecatedAnalyzer,
+		StreamOffsetAnalyzer,
+	}
+}
+
+// modulePath is the module all checked packages live in. Analyzer scope
+// tables below are full package paths under it.
+const modulePath = "qnp"
+
+// simulationPackages are the packages whose code runs inside the
+// deterministic event loop: everything here must be a pure function of the
+// replica seed. detrand enforces the no-wall-clock/no-global-rand rule in
+// exactly these packages; streamoffset polices their rand.NewSource seed
+// arithmetic.
+var simulationPackages = map[string]bool{
+	"qnp/internal/sim":       true,
+	"qnp/qnet":               true,
+	"qnp/internal/core":      true,
+	"qnp/internal/routing":   true,
+	"qnp/internal/linklayer": true,
+	"qnp/internal/device":    true,
+	"qnp/internal/hardware":  true,
+	"qnp/internal/werner":    true,
+	"qnp/internal/quantum":   true,
+	"qnp/internal/signaling": true,
+}
+
+// hotPathPackages are the packages PR 3 made allocation-free: the quantum
+// engine and the device/link stack it runs under, plus the scalar Werner
+// tier. hotalloc flags allocating-API calls only here, and only inside
+// workspace-threaded functions.
+var hotPathPackages = map[string]bool{
+	"qnp/internal/quantum":   true,
+	"qnp/internal/device":    true,
+	"qnp/internal/hardware":  true,
+	"qnp/internal/linklayer": true,
+	"qnp/internal/werner":    true,
+	"qnp/internal/core":      true,
+	"qnp/internal/linalg":    true,
+}
+
+// isSimulationPackage reports whether path is a simulation package.
+// External-test packages (pkg_test) share their subject's rules.
+func isSimulationPackage(path string) bool {
+	return simulationPackages[strings.TrimSuffix(path, "_test")]
+}
+
+// isHotPathPackage reports whether path is a hot-path package.
+func isHotPathPackage(path string) bool {
+	return hotPathPackages[strings.TrimSuffix(path, "_test")]
+}
+
+// unparen strips any number of enclosing parentheses from e. (The stdlib
+// grew ast.Unparen in go1.22; this module's language version predates it.)
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

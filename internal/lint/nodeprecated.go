@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/types"
+
+	"qnp/internal/lint/analysis"
+)
+
+// NoDeprecatedAnalyzer stops new code from reaching for the compatibility
+// shims kept only so external callers migrate gradually: the positional
+// runner.Execute wrapper (use Backend.Dispatch with an ExecRequest), the
+// Controller.Admit / Controller.PlanCircuit pair (use Place with a
+// PlacementRequest, probe or commit form) and the Config.StaticAllocation
+// boolean (use the Alloc policy enum). Each shim keeps exactly one
+// intentionally covered test, marked //qnetlint:allow nodeprecated
+// <reason>; everything else inside the module must be on the replacement
+// API so the shims can eventually be deleted in one sweep.
+var NoDeprecatedAnalyzer = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc: "internal code must not call the deprecated compatibility shims\n\n" +
+		"runner.Execute -> Backend.Dispatch(ExecRequest);\n" +
+		"Controller.PlanCircuit -> Place(PlacementRequest{Probe: true});\n" +
+		"Controller.Admit -> Place(PlacementRequest{Plan: ...});\n" +
+		"Config.StaticAllocation -> Config.Alloc.",
+	Run: runNoDeprecated,
+}
+
+// deprecatedShim describes one banned symbol: package path + name (+
+// receiver type name for methods / struct name for fields) and the
+// replacement to suggest.
+type deprecatedShim struct {
+	pkg     string
+	recv    string // receiver or owning struct type name; "" for package-level
+	name    string
+	useThis string
+}
+
+var deprecatedShims = []deprecatedShim{
+	{modulePath + "/internal/runner", "", "Execute",
+		"Backend.Dispatch with an ExecRequest (runner.Local().Dispatch(req))"},
+	{modulePath + "/internal/routing", "Controller", "PlanCircuit",
+		"Place with PlacementRequest{Probe: true} — identical path, model-based admission available"},
+	{modulePath + "/internal/routing", "Controller", "Admit",
+		"Place with a PlacementRequest carrying the Plan (commit form)"},
+	{modulePath + "/qnet", "Config", "StaticAllocation",
+		"the Config.Alloc policy enum (qnet.AllocStatic)"},
+}
+
+func runNoDeprecated(pass *analysis.Pass) (interface{}, error) {
+	sup := newSuppressor(pass)
+	for id, obj := range pass.TypesInfo.Uses {
+		shim := matchShim(obj)
+		if shim == nil {
+			continue
+		}
+		// The shim's own declaring file legitimately references it (the
+		// wrapper body, backward-compat reads); everything else must not.
+		if obj.Pkg() != nil && obj.Pkg() == pass.Pkg {
+			declFile := pass.Fset.Position(obj.Pos()).Filename
+			useFile := pass.Fset.Position(id.Pos()).Filename
+			if declFile == useFile {
+				continue
+			}
+		}
+		qual := shim.name
+		if shim.recv != "" {
+			qual = shim.recv + "." + shim.name
+		}
+		sup.report(id.Pos(), "%s is a deprecated compatibility shim — use %s (one covered legacy test per shim may keep it with //qnetlint:allow nodeprecated <reason>)",
+			qual, shim.useThis)
+	}
+	return nil, nil
+}
+
+// matchShim returns the shim entry obj refers to, nil if none.
+func matchShim(obj types.Object) *deprecatedShim {
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	for i := range deprecatedShims {
+		s := &deprecatedShims[i]
+		if obj.Pkg().Path() != s.pkg || obj.Name() != s.name {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Func:
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			if s.recv == "" {
+				if sig.Recv() == nil {
+					return s
+				}
+				continue
+			}
+			if recv := sig.Recv(); recv != nil {
+				if named, ok := derefNamed(recv.Type()); ok && named.Obj().Name() == s.recv {
+					return s
+				}
+			}
+		case *types.Var:
+			// Struct field: IsField distinguishes cfg.StaticAllocation from
+			// an unrelated local variable of the same name.
+			if s.recv != "" && obj.IsField() {
+				return s
+			}
+		}
+	}
+	return nil
+}

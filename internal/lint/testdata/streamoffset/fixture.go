@@ -1,0 +1,53 @@
+// The streamoffset fixture claims the qnp/internal/sim import path so the
+// seed-arithmetic check applies; the 7919 and offset-constant rules hold in
+// any package.
+package sim
+
+import (
+	"math/rand"
+
+	"qnp/internal/runner"
+)
+
+const (
+	fixtureStreamOffset = 2
+	physicsStreamOffset = 0 // want `stream offset physicsStreamOffset is 0`
+	oddStreamOffset     = 3 // want `stream offset oddStreamOffset is odd \(3\)`
+)
+
+// The registry discipline: base times the shared stride plus a named
+// offset.
+func registrySeed(base int64) *rand.Rand {
+	return rand.New(rand.NewSource(base*runner.SeedStride + fixtureStreamOffset))
+}
+
+// DeriveSeed wraps the same arithmetic; a plain call is fine.
+func derivedSeed(base int64) *rand.Rand {
+	return rand.New(rand.NewSource(runner.DeriveSeed(base, 3)))
+}
+
+// A bare seed with no arithmetic is unconstrained.
+func plainSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func adHocOffset(base int64) *rand.Rand {
+	return rand.New(rand.NewSource(base*runner.SeedStride + 11)) // want `RNG stream offset is not a registry name`
+}
+
+func wrongStride(base int64) *rand.Rand {
+	return rand.New(rand.NewSource(base*31 + fixtureStreamOffset)) // want `seed product does not multiply by runner.SeedStride`
+}
+
+func xorSeed(base int64) *rand.Rand {
+	return rand.New(rand.NewSource(base ^ 5)) // want `derived rand.NewSource seed uses \^ arithmetic`
+}
+
+func bareStride(base int64) int64 {
+	return base*7919 + 1 // want `bare 7919 duplicates runner.SeedStride`
+}
+
+func allowedAdHoc(base int64) *rand.Rand {
+	//qnetlint:allow streamoffset fixture exercises the escape hatch
+	return rand.New(rand.NewSource(base*runner.SeedStride + 13))
+}

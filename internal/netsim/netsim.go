@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"qnp/internal/sim"
 )
@@ -147,7 +148,7 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 // Stats returns counters accumulated so far.
 func (n *Network) Stats() Stats { return n.stats }
 
-// Neighbors returns the nodes adjacent to id, in no particular order.
+// Neighbors returns the nodes adjacent to id, in lexicographic order.
 func (n *Network) Neighbors(id NodeID) []NodeID {
 	var out []NodeID
 	for k := range n.channels {
@@ -158,6 +159,9 @@ func (n *Network) Neighbors(id NodeID) []NodeID {
 			out = append(out, k.a)
 		}
 	}
+	// The channel map's iteration order is random per run; callers walking
+	// the topology must see a stable adjacency list.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

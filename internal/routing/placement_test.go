@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"qnp/internal/hardware"
@@ -152,7 +153,13 @@ func TestModelWeightedConservation(t *testing.T) {
 	check := func(stage string) {
 		t.Helper()
 		linkLoad := map[string]float64{}
-		for id, m := range c.members {
+		ids := make([]string, 0, len(c.members))
+		for id := range c.members {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			m := c.members[id]
 			alloc, ok := c.Allocation(id)
 			if !ok {
 				continue
@@ -206,7 +213,8 @@ func TestPlaceProbeMatchesPlanCircuit(t *testing.T) {
 			c := NewController(dumbbell(), hardware.Simulation())
 			c.EnforceEER = enforce
 			c.Policy = policy
-			c.Admit("bg", []string{"A1", "MA", "MB", "B1"}, 2000, false)
+			c.Place(PlacementRequest{ID: "bg", Plan: &Plan{Path: []string{"A1", "MA", "MB", "B1"}, MaxLPR: 2000}})
+			//qnetlint:allow nodeprecated the PlanCircuit shim's designated coverage: pins probe/legacy bit-equality until the shim is deleted
 			legacy, err1 := c.PlanCircuit("A0", "B0", 0.85, CutoffShort, 0)
 			dec, _, err2 := c.Place(PlacementRequest{Src: "A0", Dst: "B0", Fidelity: 0.85, Cutoff: CutoffShort, Probe: true})
 			if (err1 == nil) != (err2 == nil) {
@@ -266,10 +274,11 @@ func TestPlaceReroutesAroundContention(t *testing.T) {
 // surface (the legacy Admit bug this PR fixes).
 func TestNonEnforcingControllerNeverRefits(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
+	//qnetlint:allow nodeprecated the Admit shim's designated coverage: the legacy surface must stay refit-silent until the shim is deleted
 	if r := c.Admit("a", []string{"A0", "MA", "MB", "B0"}, 2000, false); len(r) != 0 {
 		t.Fatalf("non-enforcing Admit produced refits: %+v", r)
 	}
-	plan, err := c.PlanCircuit("A1", "B1", 0.85, CutoffShort, 0)
+	plan, err := probePlan(c, "A1", "B1", 0.85, CutoffShort, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,14 +300,14 @@ func TestModelWeightedFavoursShortCircuits(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
 	c.EnforceEER = true
 	c.Policy = AllocModelWeighted
-	long, err := c.PlanCircuit("A0", "B0", 0.8, CutoffShort, 0)
+	long, err := probePlan(c, "A0", "B0", 0.8, CutoffShort, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := c.Place(PlacementRequest{ID: "long", Plan: &long}); err != nil {
 		t.Fatal(err)
 	}
-	short, err := c.PlanCircuit("MA", "MB", 0.8, CutoffShort, 0)
+	short, err := probePlan(c, "MA", "MB", 0.8, CutoffShort, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

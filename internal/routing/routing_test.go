@@ -49,6 +49,24 @@ func TestShortestPathDumbbell(t *testing.T) {
 	}
 }
 
+// probePlan runs a Place k=1 probe in the legacy PlanCircuit call shape:
+// these tests pin the budget math, which is identical on both surfaces (see
+// TestPlaceProbeMatchesPlanCircuit in placement_test.go).
+func probePlan(c *Controller, src, dst string, f float64, policy CutoffPolicy, manual sim.Duration) (Plan, error) {
+	dec, _, err := c.Place(PlacementRequest{Src: src, Dst: dst, Fidelity: f, Cutoff: policy, ManualCutoff: manual, Probe: true})
+	return dec.Plan, err
+}
+
+// admitPath installs a bare path member through the Place commit form and
+// returns the re-fits, as the legacy Admit did.
+func admitPath(c *Controller, id string, path []string, maxLPR float64, fixed bool) []Refit {
+	_, refits, err := c.Place(PlacementRequest{ID: id, Fixed: fixed, Plan: &Plan{Path: path, MaxLPR: maxLPR}})
+	if err != nil {
+		panic(err)
+	}
+	return refits
+}
+
 func TestNoPath(t *testing.T) {
 	g := NewGraph()
 	g.AddNode("x")
@@ -60,7 +78,7 @@ func TestNoPath(t *testing.T) {
 
 func TestPlanCircuitBudget(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
-	plan, err := c.PlanCircuit("A0", "B0", 0.8, CutoffLong, 0)
+	plan, err := probePlan(c, "A0", "B0", 0.8, CutoffLong, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,8 +104,8 @@ func TestPlanCircuitBudget(t *testing.T) {
 
 func TestHigherTargetNeedsHigherLinkFidelity(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
-	p80, err1 := c.PlanCircuit("A0", "B0", 0.8, CutoffLong, 0)
-	p90, err2 := c.PlanCircuit("A0", "B0", 0.9, CutoffLong, 0)
+	p80, err1 := probePlan(c, "A0", "B0", 0.8, CutoffLong, 0)
+	p90, err2 := probePlan(c, "A0", "B0", 0.9, CutoffLong, 0)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -102,8 +120,8 @@ func TestHigherTargetNeedsHigherLinkFidelity(t *testing.T) {
 
 func TestLongerPathNeedsHigherLinkFidelity(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
-	short, err1 := c.PlanCircuit("MA", "MB", 0.8, CutoffLong, 0) // 1 hop
-	long, err2 := c.PlanCircuit("A0", "B0", 0.8, CutoffLong, 0)  // 3 hops
+	short, err1 := probePlan(c, "MA", "MB", 0.8, CutoffLong, 0) // 1 hop
+	long, err2 := probePlan(c, "A0", "B0", 0.8, CutoffLong, 0)  // 3 hops
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -117,8 +135,8 @@ func TestLongerPathNeedsHigherLinkFidelity(t *testing.T) {
 // rate improvement in Fig. 8(d-f).
 func TestShortCutoffRelaxesLinkFidelity(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
-	long, err1 := c.PlanCircuit("A0", "B0", 0.85, CutoffLong, 0)
-	short, err2 := c.PlanCircuit("A0", "B0", 0.85, CutoffShort, 0)
+	long, err1 := probePlan(c, "A0", "B0", 0.85, CutoffLong, 0)
+	short, err2 := probePlan(c, "A0", "B0", 0.85, CutoffShort, 0)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -135,18 +153,18 @@ func TestShortCutoffRelaxesLinkFidelity(t *testing.T) {
 
 func TestUnreachableTargetRejected(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
-	if _, err := c.PlanCircuit("A0", "B0", 0.97, CutoffLong, 0); err == nil {
+	if _, err := probePlan(c, "A0", "B0", 0.97, CutoffLong, 0); err == nil {
 		t.Error("impossible end-to-end fidelity accepted")
 	}
 }
 
 func TestCutoffPolicies(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
-	none, _ := c.PlanCircuit("A0", "B0", 0.8, CutoffNone, 0)
+	none, _ := probePlan(c, "A0", "B0", 0.8, CutoffNone, 0)
 	if none.Cutoff != 0 {
 		t.Error("CutoffNone produced a cutoff")
 	}
-	manual, _ := c.PlanCircuit("A0", "B0", 0.8, CutoffManual, 123*sim.Millisecond)
+	manual, _ := probePlan(c, "A0", "B0", 0.8, CutoffManual, 123*sim.Millisecond)
 	if manual.Cutoff != 123*sim.Millisecond {
 		t.Errorf("manual cutoff = %v", manual.Cutoff)
 	}
@@ -175,7 +193,7 @@ func TestLongCutoffCalibration(t *testing.T) {
 func TestEnforceEERPopulatesBudget(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
 	c.EnforceEER = true
-	plan, err := c.PlanCircuit("A0", "B0", 0.8, CutoffLong, 0)
+	plan, err := probePlan(c, "A0", "B0", 0.8, CutoffLong, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +209,7 @@ func TestEnforceEERPopulatesBudget(t *testing.T) {
 func TestRefitAllocations(t *testing.T) {
 	c := NewController(dumbbell(), hardware.Simulation())
 	c.EnforceEER = true
-	plan, err := c.PlanCircuit("A0", "B0", 0.85, CutoffShort, 0)
+	plan, err := probePlan(c, "A0", "B0", 0.85, CutoffShort, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +218,7 @@ func TestRefitAllocations(t *testing.T) {
 		t.Fatalf("uncontended allocation = %v, want MaxLPR/2 = %v", plan.MaxEER, full)
 	}
 
-	if refits := c.Admit("a", plan.Path, plan.MaxLPR, false); len(refits) != 0 {
+	if refits := admitPath(c, "a", plan.Path, plan.MaxLPR, false); len(refits) != 0 {
 		t.Fatalf("first Admit re-fitted %v", refits)
 	}
 	if got, ok := c.Allocation("a"); !ok || got != full {
@@ -208,22 +226,22 @@ func TestRefitAllocations(t *testing.T) {
 	}
 
 	// A second circuit over the MA-MB bottleneck halves both.
-	plan2, err := c.PlanCircuit("A1", "B1", 0.85, CutoffShort, 0)
+	plan2, err := probePlan(c, "A1", "B1", 0.85, CutoffShort, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plan2.MaxEER != full/2 {
 		t.Fatalf("prospective shared allocation = %v, want %v", plan2.MaxEER, full/2)
 	}
-	refits := c.Admit("b", plan2.Path, plan2.MaxLPR, false)
+	refits := admitPath(c, "b", plan2.Path, plan2.MaxLPR, false)
 	if len(refits) != 1 || refits[0].Circuit != "a" || refits[0].MaxEER != full/2 {
 		t.Fatalf("Admit(b) refits = %+v, want a at %v", refits, full/2)
 	}
 
 	// A fixed member (caller-chosen cap) dilutes shares but is never
 	// re-fitted itself.
-	plan3, _ := c.PlanCircuit("A0", "B1", 0.85, CutoffShort, 0)
-	refits = c.Admit("fixed", plan3.Path, plan3.MaxLPR, true)
+	plan3, _ := probePlan(c, "A0", "B1", 0.85, CutoffShort, 0)
+	refits = admitPath(c, "fixed", plan3.Path, plan3.MaxLPR, true)
 	for _, r := range refits {
 		if r.Circuit == "fixed" {
 			t.Fatalf("fixed member re-fitted: %+v", refits)
@@ -254,13 +272,13 @@ func TestRefitAllocations(t *testing.T) {
 	s := NewController(dumbbell(), hardware.Simulation())
 	s.EnforceEER = true
 	s.Policy = AllocStatic
-	sp, _ := s.PlanCircuit("A0", "B0", 0.85, CutoffShort, 0)
-	s.Admit("a", sp.Path, sp.MaxLPR, false)
-	sp2, _ := s.PlanCircuit("A1", "B1", 0.85, CutoffShort, 0)
+	sp, _ := probePlan(s, "A0", "B0", 0.85, CutoffShort, 0)
+	admitPath(s, "a", sp.Path, sp.MaxLPR, false)
+	sp2, _ := probePlan(s, "A1", "B1", 0.85, CutoffShort, 0)
 	if sp2.MaxEER != full {
 		t.Fatalf("static prospective allocation = %v, want %v", sp2.MaxEER, full)
 	}
-	if refits := s.Admit("b", sp2.Path, sp2.MaxLPR, false); len(refits) != 0 {
+	if refits := admitPath(s, "b", sp2.Path, sp2.MaxLPR, false); len(refits) != 0 {
 		t.Fatalf("static Admit re-fitted %v", refits)
 	}
 }

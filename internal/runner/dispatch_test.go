@@ -17,6 +17,7 @@ func TestDeprecatedExecuteWrapper(t *testing.T) {
 	want := executeAll(t, InProcess{}, Options{Seed: 3}, "test.echo", payload, n)
 	next := 0
 	//lint:ignore SA1019 the deprecated wrapper is exactly what this test pins
+	//qnetlint:allow nodeprecated the Execute shim's designated coverage: pins the wrapper's result/order/error contract until deletion
 	err := Execute(InProcess{}, Options{Seed: 3}, "test.echo", payload, n, func(replica int, result []byte) {
 		if replica != next {
 			t.Errorf("sink got replica %d, want %d", replica, next)
@@ -34,6 +35,7 @@ func TestDeprecatedExecuteWrapper(t *testing.T) {
 	}
 
 	//lint:ignore SA1019 error passthrough of the deprecated wrapper
+	//qnetlint:allow nodeprecated the Execute shim's designated coverage: error passthrough half of the same pinned contract
 	err = Execute(InProcess{}, Options{}, "test.unregistered", nil, 1, func(int, []byte) {})
 	if err == nil || !strings.Contains(err.Error(), "unknown job kind") {
 		t.Fatalf("err = %v, want unknown-kind error", err)

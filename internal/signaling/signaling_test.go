@@ -47,9 +47,16 @@ func testNet(t *testing.T) (*sim.Simulation, *Signaler, []*core.Node, *routing.C
 	return s, New(nw, nodes), nodes, routing.NewController(g, params)
 }
 
+// probePlan fetches a budgeted long-cutoff plan through the Place probe
+// surface for the four-node chain testNet builds.
+func probePlan(ctrl *routing.Controller, src, dst string, f float64) (routing.Plan, error) {
+	dec, _, err := ctrl.Place(routing.PlacementRequest{Src: src, Dst: dst, Fidelity: f, Cutoff: routing.CutoffLong, Probe: true})
+	return dec.Plan, err
+}
+
 func TestEstablishInstallsWholePath(t *testing.T) {
 	s, sig, nodes, ctrl := testNet(t)
-	plan, err := ctrl.PlanCircuit("n0", "n3", 0.8, routing.CutoffLong, 0)
+	plan, err := probePlan(ctrl, "n0", "n3", 0.8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +97,7 @@ func TestEstablishInstallsWholePath(t *testing.T) {
 // the full stack wired by the protocols rather than by hand.
 func TestEstablishedCircuitDeliversPairs(t *testing.T) {
 	s, sig, nodes, ctrl := testNet(t)
-	plan, err := ctrl.PlanCircuit("n0", "n3", 0.75, routing.CutoffLong, 0)
+	plan, err := probePlan(ctrl, "n0", "n3", 0.75)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +133,7 @@ func TestEstablishedCircuitDeliversPairs(t *testing.T) {
 
 func TestTeardownRemovesState(t *testing.T) {
 	s, sig, nodes, ctrl := testNet(t)
-	plan, _ := ctrl.PlanCircuit("n0", "n3", 0.8, routing.CutoffLong, 0)
+	plan, _ := probePlan(ctrl, "n0", "n3", 0.8)
 	if err := sig.Establish("c1", plan, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +163,7 @@ func TestEstablishValidation(t *testing.T) {
 	if err := sig.Establish("bad", routing.Plan{Path: []string{"n0"}}, nil); err == nil {
 		t.Error("short path accepted")
 	}
-	plan, _ := ctrl.PlanCircuit("n0", "n3", 0.8, routing.CutoffLong, 0)
+	plan, _ := probePlan(ctrl, "n0", "n3", 0.8)
 	plan.Path = []string{"zz", "n1"}
 	if err := sig.Establish("bad2", plan, nil); err == nil {
 		t.Error("unknown head accepted")
@@ -168,7 +175,7 @@ func TestEstablishValidation(t *testing.T) {
 // entry, head first (synchronously — it owns pacing).
 func TestUpdateAllocationPropagates(t *testing.T) {
 	s, sig, nodes, ctrl := testNet(t)
-	plan, err := ctrl.PlanCircuit("n0", "n3", 0.8, routing.CutoffLong, 0)
+	plan, err := probePlan(ctrl, "n0", "n3", 0.8)
 	if err != nil {
 		t.Fatal(err)
 	}

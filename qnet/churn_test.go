@@ -218,7 +218,7 @@ func TestChurnAdmissionRefit(t *testing.T) {
 	// The static controller admits the same arrival: allocations never
 	// dilute there.
 	scfg := cfg
-	scfg.StaticAllocation = true
+	scfg.Alloc = AllocStatic
 	snet := Dumbbell(scfg)
 	if _, err := snet.Establish("a", "A0", "B0", 0.85, &CircuitOptions{Policy: CutoffShort}); err != nil {
 		t.Fatal(err)

@@ -19,19 +19,22 @@ func TestAllocPolicyResolution(t *testing.T) {
 		want AllocationPolicy
 	}{
 		{Config{}, AllocCountSplit},
+		//qnetlint:allow nodeprecated the StaticAllocation shim's designated coverage: precedence vs the Alloc enum
 		{Config{StaticAllocation: true}, AllocStatic},
 		{Config{Alloc: AllocModelWeighted}, AllocModelWeighted},
+		//qnetlint:allow nodeprecated the StaticAllocation shim's designated coverage: an explicit Alloc wins over the bool
 		{Config{Alloc: AllocModelWeighted, StaticAllocation: true}, AllocModelWeighted},
 		{Config{Alloc: AllocStatic}, AllocStatic},
 	}
 	for _, c := range cases {
 		if got := c.cfg.allocPolicy(); got != c.want {
-			t.Errorf("allocPolicy(Alloc=%v, StaticAllocation=%v) = %v, want %v",
-				c.cfg.Alloc, c.cfg.StaticAllocation, got, c.want)
+			//qnetlint:allow nodeprecated diagnostic output of the designated StaticAllocation coverage
+			t.Errorf("allocPolicy(Alloc=%v, StaticAllocation=%v) = %v, want %v", c.cfg.Alloc, c.cfg.StaticAllocation, got, c.want)
 		}
 	}
 	// The resolved policy reaches the controller.
 	cfg := DefaultConfig()
+	//qnetlint:allow nodeprecated the StaticAllocation shim's designated coverage: the bool must reach the controller policy
 	cfg.StaticAllocation = true
 	if net := New(cfg); net.Controller.Policy != AllocStatic {
 		t.Errorf("controller policy = %v, want AllocStatic", net.Controller.Policy)
@@ -79,13 +82,17 @@ func TestSpecRoundTripsPlacementFields(t *testing.T) {
 	}
 
 	// A spec written before the enum existed: the bool alone must still
-	// mean static allocation.
+	// mean static allocation. The legacy field arrives through the wire
+	// format — JSON is where old specs live — so the test needs no
+	// source-level use of the deprecated Go field.
 	var legacy ScenarioSpec
 	if err := json.Unmarshal(raw, &legacy); err != nil {
 		t.Fatal(err)
 	}
 	legacy.Config.Alloc = AllocCountSplit
-	legacy.Config.StaticAllocation = true
+	if err := json.Unmarshal([]byte(`{"StaticAllocation": true}`), &legacy.Config); err != nil {
+		t.Fatal(err)
+	}
 	lsc, err := legacy.Scenario()
 	if err != nil {
 		t.Fatal(err)

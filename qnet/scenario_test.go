@@ -90,10 +90,11 @@ func TestStartOrderDeterminism(t *testing.T) {
 // events beyond its deadline — virtual time never silently overshoots.
 func TestEstablishDeadlineNoOvershoot(t *testing.T) {
 	net := Chain(DefaultConfig(), 3)
-	plan, err := net.Controller.PlanCircuit("n0", "n2", 0.8, CutoffLong, 0)
+	dec, _, err := net.Controller.Place(PlacementRequest{Src: "n0", Dst: "n2", Fidelity: 0.8, Cutoff: CutoffLong, Probe: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	plan := dec.Plan
 	// The installation deadline is 4× the path's propagation delay plus
 	// 1 ms of slack; a per-hop processing delay far beyond that makes the
 	// SETUP/CONFIRM round trip impossible to finish in time.

@@ -3,6 +3,7 @@ package qnp
 import (
 	"testing"
 
+	"qnp/internal/runner"
 	"qnp/qnet"
 )
 
@@ -24,8 +25,8 @@ func TestBenchOptsSeeds(t *testing.T) {
 		}
 		seen[o.Seed] = true
 	}
-	if got := benchOpts(3).Seed; got != 3*7919+1 {
-		t.Errorf("benchOpts(3).Seed = %d, want %d", got, 3*7919+1)
+	if got, want := benchOpts(3).Seed, runner.DeriveSeed(3, 1); got != want {
+		t.Errorf("benchOpts(3).Seed = %d, want %d", got, want)
 	}
 }
 
